@@ -1,0 +1,241 @@
+"""Ablations beyond the paper's figures (DESIGN.md section 7).
+
+Probes the constants the paper fixes by heuristic (borrow limit 4,
+flush limit 3), the skew-scaling claim of section V-A, the spill
+cacheability regime, and the stackless-traversal overhead of related
+work (section VIII-A).
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import ablations
+from repro.experiments.report import format_table
+
+
+def test_borrow_limit(benchmark, cache):
+    result = benchmark.pedantic(
+        ablations.borrow_limit_sweep, args=(cache,), rounds=1, iterations=1
+    )
+    report(
+        "Ablation: intra-warp borrow limit (paper fixes 4)",
+        ablations.render_sweep(result, "IPC vs max concurrent borrows"),
+    )
+    means = result.means
+    # Reallocation helps, and the paper's choice of 4 captures nearly all
+    # of the benefit (8 adds little).
+    assert means["borrows=1"] >= means["borrows=0"] - 0.005
+    assert means["borrows=4"] >= means["borrows=1"] - 0.005
+    assert abs(means["borrows=8"] - means["borrows=4"]) < 0.02
+
+
+def test_flush_limit(benchmark, cache):
+    result = benchmark.pedantic(
+        ablations.flush_limit_sweep, args=(cache,), rounds=1, iterations=1
+    )
+    report(
+        "Ablation: consecutive flush limit (paper fixes 3)",
+        ablations.render_sweep(result, "IPC vs flush limit"),
+    )
+    values = list(result.means.values())
+    assert max(values) - min(values) < 0.05  # flushes are rare by design
+
+
+def test_skew_scaling(benchmark, cache):
+    reductions = benchmark.pedantic(
+        ablations.skew_scaling, args=(cache,), rounds=1, iterations=1
+    )
+    rows = [(label, f"{value:+.1%}") for label, value in reductions.items()]
+    report(
+        "Ablation: skewed-access delay reduction across SH sizes "
+        "(paper V-A scalability claim)",
+        format_table(["SH size", "conflict-delay reduction"], rows),
+    )
+    # Skewing reduces conflict delay at every size.
+    assert all(value > 0.0 for value in reductions.values())
+
+
+def test_spill_policy(benchmark, cache):
+    means = benchmark.pedantic(
+        ablations.spill_policy_study, args=(cache,), rounds=1, iterations=1
+    )
+    rows = [(policy, value) for policy, value in means.items()]
+    report(
+        "Ablation: spill cacheability regime (DESIGN.md substitution)",
+        format_table(["spill policy", "baseline IPC (norm to uncached)"], rows),
+    )
+    assert means["l1"] >= means["l2"] >= means["uncached"] - 0.01
+
+
+def test_warp_occupancy(benchmark, cache):
+    result = benchmark.pedantic(
+        ablations.warp_occupancy_sweep, args=(cache,), rounds=1, iterations=1
+    )
+    report(
+        "Ablation: resident warps per RT unit (Table I fixes 4)",
+        ablations.render_sweep(result, "IPC vs warp slots (norm to 4)"),
+    )
+    means = result.means
+    # Removing latency hiding costs performance; extra slots beyond the
+    # workload's occupancy add nothing.  At reduced REPRO_BENCH_SCALE the
+    # per-SM warp count can drop to 1, flattening the sweep, so the strict
+    # inequality only applies at full scale.
+    import os
+
+    if float(os.environ.get("REPRO_BENCH_SCALE", "1.0")) >= 1.0:
+        assert means["warps=1"] < means["warps=4"]
+    else:
+        assert means["warps=1"] <= means["warps=4"] + 1e-9
+    assert abs(means["warps=8"] - means["warps=4"]) < 0.02
+
+
+def test_warp_formation(benchmark):
+    from repro.experiments.ablations import warp_formation_study
+    from repro.experiments.report import format_table
+
+    result = benchmark.pedantic(
+        warp_formation_study, rounds=1, iterations=1
+    )
+    rows = [
+        (scene, result.fetch_lines_linear[scene],
+         result.fetch_lines_tiled[scene],
+         f"{result.ipc_gain[scene]:.3f}")
+        for scene in result.ipc_gain
+    ]
+    report(
+        "Ablation: warp formation — linear vs 8x4 tiled (extension)",
+        format_table(
+            ["scene", "fetch lines (linear)", "fetch lines (tiled)",
+             "tiled IPC / linear"], rows,
+        )
+        + "\n\nTiling coalesces primary fetches slightly but concentrates "
+        "heavy tiles into the same warps/SMs, hurting load balance at "
+        "this workload's warp counts — coherence is not free.",
+    )
+    # Coalescing direction: tiled warps touch no more lines than linear.
+    for scene in result.ipc_gain:
+        assert (
+            result.fetch_lines_tiled[scene]
+            <= result.fetch_lines_linear[scene] * 1.02
+        )
+
+
+def test_packet_traversal(benchmark):
+    from repro.experiments.ablations import packet_study
+    from repro.experiments.report import format_table
+
+    result = benchmark.pedantic(packet_study, rounds=1, iterations=1)
+    rows = [
+        (label, f"{result.stack_push_ratio[label]:.3f}",
+         f"{result.visit_ratio[label]:.3f}")
+        for label in result.stack_push_ratio
+    ]
+    report(
+        "Ablation: packet traversal with a group-local stack (section VIII-B)",
+        format_table(
+            ["wave", "stack pushes vs per-ray", "node visits vs per-ray"], rows
+        )
+        + "\n\nShared stacks amortize best on coherent primaries; incoherent "
+        "bounce rays lose most of the benefit — the paper's argument for "
+        "per-ray stacks plus SMS instead.",
+    )
+    # Coherent rays amortize the shared stack better than incoherent ones.
+    assert result.stack_push_ratio["primary"] < result.stack_push_ratio["bounce"]
+    assert result.visit_ratio["primary"] < result.visit_ratio["bounce"]
+
+
+def test_stackless_overhead(benchmark, cache):
+    result = benchmark.pedantic(
+        ablations.stackless_comparison, args=(cache,), rounds=1, iterations=1
+    )
+    rows = [
+        (scene, f"{result.overhead[scene]:.2f}x",
+         f"{result.restarts_per_ray[scene]:.1f}")
+        for scene in result.overhead
+    ]
+    report(
+        "Ablation: stackless restart-trail visit overhead (section VIII-A)",
+        format_table(["scene", "visits vs DFS", "restarts/ray"], rows),
+    )
+    # Across the suite, stackless traversal costs extra node visits on
+    # average — the overhead SMS avoids by keeping a real stack.
+    mean_overhead = sum(result.overhead.values()) / len(result.overhead)
+    assert mean_overhead > 1.2
+
+
+def test_inter_warp_realloc(benchmark, cache):
+    result = benchmark.pedantic(
+        ablations.inter_warp_study, args=(cache,), rounds=1, iterations=1
+    )
+    report(
+        "Ablation: inter-warp reallocation — the design the paper rejects "
+        "(section V-B)",
+        ablations.render_sweep(result, "IPC, intra vs inter-warp borrowing"),
+    )
+    means = result.means
+    gain_at_design_point = (
+        means["RB_8+SH_8+SK+RA+IW"] - means["RB_8+SH_8+SK+RA"]
+    )
+    gain_when_starved = (
+        means["RB_2+SH_2+SK+RA+IW"] - means["RB_2+SH_2+SK+RA"]
+    )
+    # At the paper's RB_8+SH_8 design point, cross-warp borrowing buys
+    # little (supporting the intra-warp choice); only under-provisioned
+    # stacks benefit meaningfully.
+    assert gain_at_design_point >= -0.01
+    assert gain_at_design_point < 0.05
+    assert gain_when_starved > gain_at_design_point
+
+
+def test_size_consistency(benchmark):
+    from repro.experiments.ablations import size_consistency_study
+    from repro.experiments.report import format_table
+
+    result = benchmark.pedantic(size_consistency_study, rounds=1, iterations=1)
+    labels = list(result.speedups)
+    scenes = list(next(iter(result.speedups.values())))
+    rows = [
+        [scene] + [f"{result.speedups[label][scene]:.3f}" for label in labels]
+        for scene in scenes
+    ]
+    report(
+        "Ablation: SMS speedup vs workload size (paper VII-A claim)",
+        format_table(["scene"] + labels, rows)
+        + "\n\nThe paper's consistency claim holds once the workload "
+        "saturates the 8-SM machine; below ~2 warps/SM (16x16 here) the "
+        "stack bottleneck fades and gains shrink — scale runs accordingly.",
+    )
+    # SMS never loses at any size, and gains do not shrink as the
+    # workload grows toward machine saturation.
+    for label in labels:
+        for scene in scenes:
+            assert result.speedups[label][scene] >= 0.99
+    small, large = labels[0], labels[-1]
+    for scene in scenes:
+        assert (
+            result.speedups[large][scene]
+            >= result.speedups[small][scene] - 0.05
+        )
+
+
+def test_short_stack_restart_curve(benchmark):
+    from repro.experiments.ablations import short_stack_study
+    from repro.experiments.report import format_table
+
+    result = benchmark.pedantic(short_stack_study, rounds=1, iterations=1)
+    rows = [
+        (capacity, f"{result.visit_overhead[capacity]:.2f}x",
+         f"{result.restarts_per_ray[capacity]:.1f}")
+        for capacity in sorted(result.visit_overhead)
+    ]
+    report(
+        "Ablation: short stack + restart trail vs on-chip capacity "
+        "(section VIII-A)",
+        format_table(["stack entries", "visits vs DFS", "restarts/ray"], rows)
+        + "\n\nEvery added on-chip entry removes restart replays — the "
+        "mechanism by which the SMS shared-memory entries would speed up "
+        "stackless schemes too, as the paper notes.",
+    )
+    capacities = sorted(result.visit_overhead)
+    # Monotone improvement with capacity; deepest capacity near DFS cost.
+    for small, large in zip(capacities, capacities[1:]):
+        assert result.visit_overhead[large] <= result.visit_overhead[small] + 0.01
+    assert result.restarts_per_ray[capacities[-1]] < result.restarts_per_ray[capacities[0]]

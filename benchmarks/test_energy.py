@@ -1,0 +1,48 @@
+"""Energy study — the paper's power motivation, quantified.
+
+Not a paper figure; applies a McPAT-style per-event energy model to the
+Fig. 13 ladder.  Expected shape: SMS cuts total energy (it removes the
+DRAM-resident spill traffic and shortens runtime) and drives the stack's
+share of energy toward the full-stack floor.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import energy_study
+
+
+def test_energy(benchmark, cache):
+    result = benchmark.pedantic(
+        energy_study.run, args=(cache,), rounds=1, iterations=1
+    )
+    report("Energy study (extension)", energy_study.render(result))
+    total = result.total_energy
+    assert total["RB_8+SH_8+SK+RA"] < 1.0
+    assert total["RB_FULL"] <= total["RB_8"]
+    share = result.stack_energy_share
+    assert share["RB_8+SH_8+SK+RA"] < share["RB_8"]
+
+
+def test_bvh_width(benchmark):
+    from repro.experiments.ablations import bvh_width_study
+    from repro.experiments.report import format_table
+
+    result = benchmark.pedantic(
+        bvh_width_study,
+        kwargs={"scene_names": ("CRNVL", "PARTY", "SHIP"), "widths": (2, 4, 6, 8)},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        (f"BVH{w}", f"{result.avg_depth[w]:.1f}", result.max_depth[w],
+         f"{result.sms_gain[w]:.3f}")
+        for w in sorted(result.avg_depth)
+    ]
+    report(
+        "Ablation: BVH branching factor vs stack pressure (extension)",
+        format_table(
+            ["width", "avg depth", "max depth", "SMS gain"], rows
+        ),
+    )
+    # Wider BVHs push more siblings per visit -> deeper stacks -> more
+    # benefit from the SMS secondary stack.
+    assert result.avg_depth[8] > result.avg_depth[2]
+    assert result.sms_gain[8] > result.sms_gain[2]

@@ -1,0 +1,21 @@
+"""Fig. 10 — per-thread stack depths over time (PARTY).
+
+Paper shape: threads finish at very different times and need very
+different peak depths — the imbalance motivating intra-warp reallocation.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import fig10_thread_depths as fig10
+
+
+def test_fig10(benchmark, cache):
+    result = benchmark.pedantic(
+        fig10.run, args=(cache,), kwargs={"scene": "PARTY", "warps": 2},
+        rounds=1, iterations=1,
+    )
+    report("Fig. 10: per-thread stack depth (PARTY)", fig10.render(result))
+    assert len(result.warp_series) == 2
+    # Strong imbalance: the shortest lane does < 60% of the longest's
+    # accesses, and peak depths vary at least 2x.
+    assert result.finish_spread < 0.6
+    assert result.peak_spread < 0.5

@@ -1,0 +1,26 @@
+"""Fig. 13 — the headline result.
+
+Paper shape: +SH_8 ~ +15%, +SK adds a little, +RA brings SMS within a
+couple of points of the impractical RB_FULL (+25.3%); complex scenes
+(ROBOT, PARK) and SHIP gain most, REF/BATH least.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import fig13_sms_ipc as fig13
+
+
+def test_fig13(benchmark, cache):
+    result = benchmark.pedantic(fig13.run, args=(cache,), rounds=1, iterations=1)
+    report("Fig. 13: SMS IPC improvements", fig13.render(result))
+    means = result.means
+    assert means["RB_8+SH_8"] > 1.05
+    assert means["RB_8+SH_8+SK"] >= means["RB_8+SH_8"] - 0.005
+    assert means["RB_8+SH_8+SK+RA"] >= means["RB_8+SH_8+SK"]
+    # SMS lands close to the full-stack upper bound (the key claim).
+    gap = means["RB_FULL"] - means["RB_8+SH_8+SK+RA"]
+    assert gap <= 0.5 * (means["RB_FULL"] - 1.0)
+    # Scene ordering: heavyweights gain more than the simple scenes.
+    sms = {s: v["RB_8+SH_8+SK+RA"] for s, v in result.per_scene.items()}
+    heavy_gain = (sms["ROBOT"] + sms["CAR"]) / 2
+    light_gain = (sms["REF"] + sms["BATH"]) / 2
+    assert heavy_gain > light_gain

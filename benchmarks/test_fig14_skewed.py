@@ -1,0 +1,20 @@
+"""Fig. 14 — bank-conflict delay cycles, with/without skewed access.
+
+Paper shape: skewing reduces the conflict delay by ~27% on average.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import fig14_skewed as fig14
+
+
+def test_fig14(benchmark, cache):
+    result = benchmark.pedantic(fig14.run, args=(cache,), rounds=1, iterations=1)
+    report("Fig. 14: skewed bank access", fig14.render(result))
+    assert result.reduction > 0.05
+    # Skewing must help (or at worst tie) on the large majority of scenes.
+    improved = sum(
+        1
+        for scene, before in result.delay_no_skew.items()
+        if result.delay_skew[scene] <= before
+    )
+    assert improved >= 0.7 * len(result.delay_no_skew)

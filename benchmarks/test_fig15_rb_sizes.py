@@ -1,0 +1,29 @@
+"""Fig. 15 — primary stack size impact, with and without SMS.
+
+Paper shape: RB_2 alone loses heavily (-28% IPC, +62% off-chip);
+adding SMS recovers it past the RB_8 baseline and removes the traffic;
+with RB_16 the SMS gain is small (little overflow left to absorb).
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import fig15_rb_sizes as fig15
+
+
+def test_fig15(benchmark, cache):
+    result = benchmark.pedantic(fig15.run, args=(cache,), rounds=1, iterations=1)
+    report("Fig. 15: RB stack sizes +/- SMS", fig15.render(result))
+    ipc = result.ipc_means
+    off = result.offchip_means
+
+    # (a) IPC shape.
+    assert ipc["RB_2"] < ipc["RB_4"] < 1.0
+    assert ipc["RB_2+SH_8+SK+RA"] > 1.0          # tiny stack + SMS beats baseline
+    assert ipc["RB_2+SH_8+SK+RA"] - ipc["RB_2"] > 0.2
+    sms_gain_at_16 = ipc["RB_16+SH_8+SK+RA"] - ipc["RB_16"]
+    sms_gain_at_2 = ipc["RB_2+SH_8+SK+RA"] - ipc["RB_2"]
+    assert sms_gain_at_16 < 0.5 * sms_gain_at_2  # diminishing benefit
+
+    # (b) off-chip traffic shape.
+    assert off["RB_2"] > 1.3
+    assert off["RB_2+SH_8+SK+RA"] < 1.0
+    assert off["RB_2"] > off["RB_4"] > 1.0

@@ -1,0 +1,18 @@
+"""Fig. 4 — stack depth summary per workload.
+
+Paper shape: average/median depths of 4-5, maxima around 30.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import fig4_stack_depths as fig4
+
+
+def test_fig4(benchmark, cache):
+    result = benchmark.pedantic(fig4.run, args=(cache,), rounds=1, iterations=1)
+    report("Fig. 4: traversal stack depths", fig4.render(result))
+    assert 3.0 <= result.overall.avg_depth <= 7.0
+    assert 3.0 <= result.overall.median_depth <= 7.0
+    assert 20 <= result.overall.max_depth <= 45
+    # The deepest scenes must be the heavyweights, as in the paper.
+    deepest = max(result.per_scene, key=lambda s: result.per_scene[s].max_depth)
+    assert deepest in ("ROBOT", "CAR", "PARK", "PARTY")

@@ -1,0 +1,17 @@
+"""Fig. 5 — stack depth distribution.
+
+Paper shape: ~81% of steps need 1-8 entries, ~17% need 9-16, ~2% more.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import fig5_depth_distribution as fig5
+
+
+def test_fig5(benchmark, cache):
+    result = benchmark.pedantic(fig5.run, args=(cache,), rounds=1, iterations=1)
+    report("Fig. 5: stack depth distribution", fig5.render(result))
+    low, mid, high = result.fractions
+    assert 0.70 <= low <= 0.92
+    assert 0.07 <= mid <= 0.25
+    assert high <= 0.06
+    assert low > mid > high

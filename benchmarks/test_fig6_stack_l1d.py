@@ -1,0 +1,27 @@
+"""Fig. 6 — IPC vs RB stack size (a) and L1D size (b).
+
+Paper shape: RB_4 loses ~18%, RB_16/RB_32 gain ~20/25%; quadrupling the
+L1D gains far less than doubling the stack (the motivation asymmetry).
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import fig6_stack_l1d as fig6
+
+
+def test_fig6(benchmark, cache):
+    result = benchmark.pedantic(fig6.run, args=(cache,), rounds=1, iterations=1)
+    report("Fig. 6: stack size and L1D size sweeps", fig6.render(result))
+
+    stack = result.stack_sweep
+    assert stack["RB_4"] < 0.95
+    assert stack["RB_16"] > 1.05
+    assert stack["RB_32"] >= stack["RB_16"]
+
+    l1d = result.l1d_sweep
+    assert l1d["x0.25"] < 1.0 < l1d["x4.0"]
+    assert l1d["x0.25"] <= l1d["x0.5"] <= 1.0 <= l1d["x2.0"] <= l1d["x4.0"] + 0.01
+
+    # The paper's asymmetry: +8 stack entries beat +3x L1D capacity.
+    stack_gain = stack["RB_16"] - 1.0
+    l1d_gain = l1d["x4.0"] - 1.0
+    assert stack_gain > l1d_gain

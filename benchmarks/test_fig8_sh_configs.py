@@ -1,0 +1,22 @@
+"""Fig. 8 — SH stack size configurations.
+
+Paper shape: SH_4 < SH_8 < SH_16 < FULL, with SH_8 already capturing
+most of the benefit (the basis for the proposed 56KB/8KB split).
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import fig8_sh_configs as fig8
+
+
+def test_fig8(benchmark, cache):
+    result = benchmark.pedantic(fig8.run, args=(cache,), rounds=1, iterations=1)
+    report("Fig. 8: L1D/shared-memory configurations", fig8.render(result))
+    means = result.means
+    assert 1.0 < means["RB_8+SH_4"] < means["RB_8+SH_16"] <= means["RB_FULL"] + 0.01
+    assert means["RB_8+SH_8"] >= means["RB_8+SH_4"]
+    # SH_8 captures the majority of the FULL-stack headroom.
+    headroom = means["RB_FULL"] - 1.0
+    assert means["RB_8+SH_8"] - 1.0 >= 0.5 * headroom
+    # The carve-out arithmetic the figure rests on.
+    assert result.shared_memory_bytes["RB_8+SH_8"] == 8 * 1024
+    assert result.shared_memory_bytes["RB_8+SH_16"] == 16 * 1024

@@ -1,0 +1,11 @@
+"""Table I — baseline GPU parameters."""
+
+from benchmarks.conftest import report
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    report("Table I: baseline GPU parameters", table1.render(result))
+    assert result.paper.num_sms == 8
+    assert result.paper.l2_bytes == 3 * 1024 * 1024

@@ -1,0 +1,15 @@
+"""Table II — benchmark scenes and BVH footprints."""
+
+from benchmarks.conftest import report
+from repro.experiments import table2
+
+
+def test_table2(benchmark, cache):
+    result = benchmark.pedantic(table2.run, args=(cache,), rounds=1, iterations=1)
+    report("Table II: benchmark scenes", table2.render(result))
+    assert len(result.stats) == 16
+    # ROBOT is the largest stand-in, SHIP among the smallest — as in the paper.
+    assert result.stats["ROBOT"].triangle_count == max(
+        s.triangle_count for s in result.stats.values()
+    )
+    assert result.stats["SHIP"].triangle_count < result.stats["PARTY"].triangle_count

@@ -1,0 +1,65 @@
+"""Visualize the shared-memory bank mapping and the skewed base entries.
+
+Reproduces the paper's Fig. 9: which banks each lane's SH stack entries
+occupy, and where each lane *starts* filling its circular queue with and
+without the skewed-access optimization.  Then simulates one warp-wide
+access at a common logical position to show the conflict-degree
+difference.
+
+Run:  python examples/bank_mapping.py [SH_ENTRIES]
+"""
+
+import sys
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.counters import Counters
+from repro.gpu.sharedmem import SharedMemorySim
+from repro.stack.layout import SharedStackLayout
+from repro.stack.ops import MemoryOp, MemSpace, OpKind
+from repro.stack.skew import base_entry_index, skew_group_size
+
+
+def main() -> int:
+    entries = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    layout = SharedStackLayout(entries=entries)
+    print(f"SH stack: {entries} entries x 8 B per lane "
+          f"({layout.lanes_per_row} lanes per 128 B bank row)\n")
+
+    print("lane -> banks of each entry (first 8 lanes):")
+    for lane in range(8):
+        banks = [layout.banks_of_entry(lane, e)[0] for e in range(entries)]
+        print(f"  t{lane:02d}: banks {banks}")
+
+    k = skew_group_size(entries)
+    print(f"\nskew formula: base = (TID / k) mod N with k = {k}, N = {entries}")
+    print("lane -> base entry (skewed):")
+    row = ", ".join(
+        f"t{lane}={base_entry_index(lane, entries)}" for lane in range(0, 32, 2)
+    )
+    print(f"  even lanes: {row}")
+
+    sim = SharedMemorySim(GPUConfig())
+
+    def first_access(skewed):
+        ops = []
+        for lane in range(32):
+            entry = base_entry_index(lane, entries, skewed=skewed)
+            ops.append(
+                MemoryOp(MemSpace.SHARED, OpKind.STORE,
+                         layout.entry_address(lane, entry))
+            )
+        return ops
+
+    plain = sim.conflict_degree(first_access(skewed=False))
+    skewed = sim.conflict_degree(first_access(skewed=True))
+    counters = Counters()
+    plain_cost = sim.transaction_cycles(first_access(skewed=False), counters)
+    skew_cost = sim.transaction_cycles(first_access(skewed=True), counters)
+    print(f"\nwarp-wide first store, all lanes at their base entry:")
+    print(f"  without skew: conflict degree {plain:2d} -> {plain_cost} cycles")
+    print(f"  with skew:    conflict degree {skewed:2d} -> {skew_cost} cycles")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

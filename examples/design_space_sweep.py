@@ -1,0 +1,55 @@
+"""Design-space sweep: RB size x SH size over a chosen scene.
+
+Explores the two-level stack sizing space the paper carves its design
+from: for each (RB entries, SH entries) pair, reports normalized IPC and
+off-chip accesses.  Useful for seeing where the paper's RB_8+SH_8 choice
+sits on the cost/performance frontier, and how the trade-off moves on
+scenes with different depth profiles.
+
+Run:  python examples/design_space_sweep.py [SCENE]
+"""
+
+import sys
+
+from repro import sms_config, baseline_config, time_traces, trace_scene
+from repro.workloads import load_scene
+
+RB_SIZES = (2, 4, 8, 16)
+SH_SIZES = (0, 4, 8, 16)
+
+
+def main() -> int:
+    scene_name = sys.argv[1].upper() if len(sys.argv) > 1 else "PARTY"
+    scene = load_scene(scene_name)
+    workload = trace_scene(scene, width=24, height=24, max_bounces=3)
+    traces = workload.all_traces
+    print(f"scene {scene.name}: {workload.ray_count} rays\n")
+
+    baseline = time_traces(traces, baseline_config(8), scene_name=scene.name)
+
+    corner = "RB / SH"
+    header = f"{corner:>8} " + " ".join(f"{sh:>14}" for sh in SH_SIZES)
+    print(header)
+    print("-" * len(header))
+    for rb in RB_SIZES:
+        cells = []
+        for sh in SH_SIZES:
+            if sh == 0:
+                config = baseline_config(rb)
+            else:
+                config = sms_config(rb_entries=rb, sh_entries=sh)
+            result = time_traces(traces, config, scene_name=scene.name)
+            rel_ipc = result.ipc / baseline.ipc
+            rel_off = result.offchip_accesses / baseline.offchip_accesses
+            cells.append(f"{rel_ipc:5.3f}/{rel_off:4.2f}x")
+        print(f"{rb:>8} " + " ".join(f"{c:>14}" for c in cells))
+
+    print(
+        "\ncells are (normalized IPC / normalized off-chip accesses), "
+        "both vs the RB_8 baseline; SH column 0 = no shared-memory stack."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Energy comparison: what the traversal stack costs in joules.
+
+The paper motivates SMS partly on power grounds — on-chip storage and
+off-chip traffic are the expensive pieces.  This example applies the
+per-event energy model to one scene under the baseline, SMS and full
+stacks, printing a full energy breakdown for each.
+
+Run:  python examples/energy_comparison.py [SCENE]
+"""
+
+import sys
+
+from repro import named_config, time_traces, trace_scene
+from repro.gpu.energy import EnergyModel, compare_energy, estimate_energy
+from repro.workloads import load_scene
+
+
+def main() -> int:
+    scene_name = sys.argv[1].upper() if len(sys.argv) > 1 else "PARTY"
+    scene = load_scene(scene_name)
+    workload = trace_scene(scene, width=24, height=24, max_bounces=3)
+    print(f"scene {scene.name}: {workload.ray_count} rays\n")
+
+    model = EnergyModel()
+    reports = {}
+    for name in ("RB_8", "RB_8+SH_8+SK+RA", "RB_FULL"):
+        result = time_traces(
+            workload.all_traces, named_config(name), scene_name=scene.name
+        )
+        reports[name] = estimate_energy(result.counters, model)
+        print(f"--- {name} ---")
+        print(reports[name].summary())
+        stack_share = reports[name].stack_nj / reports[name].total_nj
+        print(f"  traversal-stack share: {stack_share:.1%}\n")
+
+    ratios = compare_energy(reports, baseline="RB_8")
+    print("total energy, normalized to RB_8:")
+    for name, ratio in ratios.items():
+        print(f"  {name:<18} {ratio:.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Print the SMS hardware overhead analysis (paper section VI-C).
+
+Shows the bit-level cost of the SMS bookkeeping fields and contrasts it
+with the storage cost of simply enlarging the ray-buffer stack — the
+272 B vs 8 KB comparison that closes the paper's implementation section.
+
+Run:  python examples/overhead_report.py
+"""
+
+from repro.core.overhead import field_bit_table, sms_hardware_overhead
+from repro.core.presets import sms_config
+
+
+def main() -> int:
+    print("SMS ray-buffer field widths (per thread):")
+    for name, bits in field_bit_table().items():
+        print(f"  {name:<10} {bits} bit{'s' if bits > 1 else ''}")
+
+    print()
+    report = sms_hardware_overhead()
+    print(report.summary())
+
+    ratio = report.rb_double_bytes / report.sms_field_bytes
+    print(
+        f"\nDoubling the RB stack would cost {ratio:.0f}x more on-chip "
+        f"storage than the SMS fields — and the shared-memory capacity "
+        f"SMS uses is carved from the existing unified SRAM, not added."
+    )
+
+    print("\nScaling with SH stack size:")
+    for sh in (4, 8, 16):
+        r = sms_hardware_overhead(sms_config(sh_entries=sh))
+        print(
+            f"  SH_{sh:<3} fields {r.sms_field_bytes:4d} B/SM, "
+            f"shared carve-out {r.shared_memory_bytes // 1024} KB"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

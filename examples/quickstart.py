@@ -1,0 +1,54 @@
+"""Quickstart: simulate one scene under the baseline and SMS designs.
+
+Builds a benchmark scene, path-traces it once, and replays the traces
+through three stack architectures — the 8-entry baseline, the paper's
+proposed SMS design, and the impractical full on-chip stack — printing
+the speedups and traffic breakdown the paper's abstract summarizes.
+
+Run:  python examples/quickstart.py [SCENE]
+"""
+
+import sys
+
+from repro import named_config, time_traces, trace_scene
+from repro.workloads import load_scene
+
+
+def main() -> int:
+    scene_name = sys.argv[1].upper() if len(sys.argv) > 1 else "CRNVL"
+    scene = load_scene(scene_name)
+    print(f"scene {scene.name}: {scene.triangle_count} triangles")
+
+    # Phase 1 (expensive, configuration-independent): path-trace the frame.
+    workload = trace_scene(scene, width=24, height=24, max_bounces=3)
+    print(f"traced {workload.ray_count} rays, {workload.total_steps} node visits\n")
+
+    # Phase 2: replay the same traces under each stack architecture.
+    baseline = time_traces(workload.all_traces, named_config("RB_8"),
+                           scene_name=scene.name)
+    sms = time_traces(workload.all_traces, named_config("RB_8+SH_8+SK+RA"),
+                      scene_name=scene.name)
+    full = time_traces(workload.all_traces, named_config("RB_FULL"),
+                       scene_name=scene.name)
+
+    print(f"{'config':<18} {'IPC':>8} {'speedup':>8} {'off-chip':>9} "
+          f"{'stack->global':>14} {'stack->shared':>14}")
+    for result in (baseline, sms, full):
+        counters = result.counters
+        print(
+            f"{result.label:<18} {result.ipc:8.3f} "
+            f"{result.speedup_over(baseline):8.3f} "
+            f"{result.offchip_accesses:9d} "
+            f"{counters.stack_global_ops:14d} "
+            f"{counters.stack_shared_ops:14d}"
+        )
+
+    gain = (sms.speedup_over(baseline) - 1.0) * 100
+    bound = (full.speedup_over(baseline) - 1.0) * 100
+    print(f"\nSMS gains {gain:+.1f}% over the baseline "
+          f"(full-stack upper bound: {bound:+.1f}%).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Record a warp execution timeline and export it for Chrome tracing.
+
+Runs one scene's traces through a recorded RT unit and writes a
+``chrome://tracing`` / Perfetto-compatible JSON, then prints an ASCII
+summary: per-warp lifetimes and the latency-hiding concurrency profile.
+
+Run:  python examples/warp_timeline.py [SCENE] [OUT.json]
+"""
+
+import sys
+
+from repro import named_config, trace_scene
+from repro.gpu.timeline import record_timeline
+from repro.workloads import load_scene
+
+
+def main() -> int:
+    scene_name = sys.argv[1].upper() if len(sys.argv) > 1 else "CRNVL"
+    out = sys.argv[2] if len(sys.argv) > 2 else "timeline.json"
+    scene = load_scene(scene_name)
+    workload = trace_scene(scene, width=16, height=16, max_bounces=2)
+    timeline = record_timeline(
+        workload.all_traces, named_config("RB_8+SH_8+SK+RA")
+    )
+    path = timeline.save(out)
+    print(f"recorded {len(timeline.events)} warp iterations over "
+          f"{timeline.total_cycles} cycles -> {path}")
+    print("open chrome://tracing (or ui.perfetto.dev) and load the file\n")
+
+    warp_ids = sorted({e.warp_id for e in timeline.events})
+    total = timeline.total_cycles
+    print("per-warp lifetime (80-column view):")
+    for warp_id in warp_ids[:16]:
+        events = timeline.events_for_warp(warp_id)
+        row = [" "] * 80
+        for event in events:
+            lo = int(event.start / total * 79)
+            hi = max(lo, int(event.end / total * 79))
+            for x in range(lo, hi + 1):
+                row[x] = "#"
+        print(f"  w{warp_id:03d} |{''.join(row)}|")
+
+    samples = 60
+    print("\nwarps in flight over time:")
+    profile = [
+        timeline.concurrency_at(int(total * i / samples)) for i in range(samples)
+    ]
+    for level in range(max(profile), 0, -1):
+        print("  " + "".join("#" if c >= level else " " for c in profile))
+    print("  " + "-" * samples)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

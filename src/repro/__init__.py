@@ -1,0 +1,46 @@
+"""repro — reproduction of "Hierarchical Traversal Stack Design Using
+Shared Memory for GPU Ray Tracing" (ISPASS 2025).
+
+The package implements the paper's SMS architecture and every substrate it
+rests on: geometry and BVH construction, a deterministic path tracer that
+records traversal-stack events, all traversal stack designs (baseline
+short stack, full stack, SMS with skewed bank access and intra-warp
+reallocation), and a cycle-level GPU timing model.
+
+Quickstart::
+
+    from repro import simulate, named_config
+    from repro.workloads import load_scene
+
+    scene = load_scene("SPNZA")
+    base = simulate(scene, named_config("RB_8"))
+    sms = simulate(scene, named_config("RB_8+SH_8+SK+RA"))
+    print(sms.ipc / base.ipc)
+"""
+
+from repro.core import (
+    simulate,
+    trace_scene,
+    time_traces,
+    baseline_config,
+    full_stack_config,
+    sms_config,
+    named_config,
+    SimulationResult,
+)
+from repro.gpu.config import GPUConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "simulate",
+    "trace_scene",
+    "time_traces",
+    "baseline_config",
+    "full_stack_config",
+    "sms_config",
+    "named_config",
+    "SimulationResult",
+    "GPUConfig",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Result analysis and export.
+
+Turns :class:`~repro.core.results.SimulationResult` collections into
+portable artifacts: CSV/JSON files for downstream plotting and a
+markdown summary for reports.  The campaign runner wraps a full
+scene-by-configuration sweep with export in one call.
+"""
+
+from repro.analysis.export import (
+    results_to_rows,
+    write_csv,
+    write_json,
+    results_markdown,
+)
+from repro.analysis.campaign import Campaign, CampaignResult
+
+__all__ = [
+    "results_to_rows",
+    "write_csv",
+    "write_json",
+    "results_markdown",
+    "Campaign",
+    "CampaignResult",
+]

@@ -1,0 +1,77 @@
+"""One-call measurement campaigns: sweep, summarize, export.
+
+A :class:`Campaign` wraps the scene-by-configuration sweep the experiment
+drivers use, but returns the raw :class:`SimulationResult` objects and
+offers CSV/JSON/markdown export — the entry point for users running their
+own studies rather than regenerating the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.export import results_markdown, write_csv, write_json
+from repro.core.presets import named_config
+from repro.core.results import SimulationResult
+from repro.experiments.common import WorkloadCache, geomean
+from repro.gpu.config import GPUConfig
+from repro.workloads.params import DEFAULT_PARAMS, WorkloadParams
+
+
+@dataclass
+class CampaignResult:
+    """All runs of one campaign plus summary helpers."""
+
+    results: List[SimulationResult]
+    baseline_label: str
+
+    def normalized_means(self) -> Dict[str, float]:
+        """Geomean normalized IPC per configuration label."""
+        by_scene: Dict[str, Dict[str, SimulationResult]] = {}
+        for result in self.results:
+            by_scene.setdefault(result.scene_name, {})[result.label] = result
+        ratios: Dict[str, List[float]] = {}
+        for per_scene in by_scene.values():
+            base = per_scene.get(self.baseline_label)
+            if base is None or base.ipc == 0:
+                continue
+            for label, result in per_scene.items():
+                ratios.setdefault(label, []).append(result.ipc / base.ipc)
+        return {label: geomean(values) for label, values in ratios.items()}
+
+    def to_csv(self, path) -> Path:
+        """Export all runs as CSV."""
+        return write_csv(self.results, path)
+
+    def to_json(self, path) -> Path:
+        """Export all runs as JSON."""
+        return write_json(self.results, path)
+
+    def to_markdown(self) -> str:
+        """Normalized-IPC markdown table."""
+        return results_markdown(self.results, self.baseline_label)
+
+
+@dataclass
+class Campaign:
+    """A sweep specification: which scenes under which configurations."""
+
+    configs: Sequence = ("RB_8", "RB_8+SH_8+SK+RA", "RB_FULL")
+    scenes: Optional[Sequence[str]] = None
+    params: WorkloadParams = field(default_factory=lambda: DEFAULT_PARAMS)
+    baseline_label: str = "RB_8"
+
+    def run(self, cache: Optional[WorkloadCache] = None) -> CampaignResult:
+        """Execute every (scene, config) pair."""
+        cache = cache or WorkloadCache(params=self.params, scene_names=self.scenes)
+        resolved: List[GPUConfig] = [
+            config if isinstance(config, GPUConfig) else named_config(config)
+            for config in self.configs
+        ]
+        results: List[SimulationResult] = []
+        for name in cache.names:
+            for config in resolved:
+                results.append(cache.simulate(name, config))
+        return CampaignResult(results=results, baseline_label=self.baseline_label)

@@ -1,0 +1,68 @@
+"""BVH node records.
+
+Two node flavours exist: :class:`BinaryNode` for the intermediate binary
+tree and :class:`WideNode` for the collapsed wide BVH that traversal and
+the timing model consume.  Both are stored in flat lists and reference
+children by index, never by Python object pointer, so trees serialize and
+address-map cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.geometry.aabb import AABB
+
+#: Sentinel index meaning "no node".
+NO_NODE = -1
+
+
+@dataclass
+class BinaryNode:
+    """A node of the intermediate binary BVH.
+
+    Leaves carry a primitive range ``[first_prim, first_prim + prim_count)``
+    into the builder's primitive-order array; internal nodes carry the two
+    child indices.
+    """
+
+    bounds: AABB
+    left: int = NO_NODE
+    right: int = NO_NODE
+    first_prim: int = 0
+    prim_count: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        """Leaves own primitives; internal nodes own children."""
+        return self.prim_count > 0
+
+
+@dataclass
+class WideNode:
+    """A node of the wide BVH (up to ``k`` children per internal node).
+
+    ``address`` and ``size_bytes`` are filled in by the layout pass and
+    give the node's location in the simulated global-memory space; the
+    traversal stack stores these addresses (one 8-byte entry each, as in
+    the paper).
+    """
+
+    index: int
+    bounds: AABB
+    children: List[int] = field(default_factory=list)
+    prim_ids: List[int] = field(default_factory=list)
+    address: int = 0
+    size_bytes: int = 0
+    depth: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node holds primitives instead of children."""
+        return not self.children
+
+    @property
+    def child_count(self) -> int:
+        """Number of children (0 for leaves)."""
+        return len(self.children)

@@ -1,0 +1,134 @@
+"""Collapse a binary BVH into a wide BVH (BVHk).
+
+Wide BVHs raise the branching factor so each internal node can push up to
+``k - 1`` sibling addresses per visit — exactly the behaviour that stresses
+short traversal stacks in the paper (Fig. 3 shows a BVH6 with a 4-entry
+stack).  Collapse follows the usual approach: repeatedly replace the
+largest-surface-area internal slot with its two binary children until the
+node has ``k`` slots or only leaves remain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import BVHError
+from repro.bvh.builder import BinaryBVH
+from repro.bvh.node import WideNode
+from repro.geometry.aabb import surface_area
+from repro.scene.scene import Scene
+
+
+@dataclass
+class WideBVH:
+    """The wide BVH consumed by traversal and the timing model.
+
+    ``child_los[i]`` / ``child_his[i]`` hold node ``i``'s child bounds as
+    ``(c, 3)`` arrays for the batched ray/AABB kernel.  ``address_to_node``
+    is populated by the layout pass.
+    """
+
+    scene: Scene
+    width: int
+    nodes: List[WideNode] = field(default_factory=list)
+    root: int = 0
+    child_los: List[np.ndarray] = field(default_factory=list)
+    child_his: List[np.ndarray] = field(default_factory=list)
+    address_to_node: Dict[int, int] = field(default_factory=dict)
+    total_bytes: int = 0
+
+    @property
+    def node_count(self) -> int:
+        """Total number of wide nodes."""
+        return len(self.nodes)
+
+    def node_at_address(self, address: int) -> WideNode:
+        """Resolve a global-memory address back to its node."""
+        try:
+            return self.nodes[self.address_to_node[address]]
+        except KeyError:
+            raise BVHError(f"no BVH node at address {address:#x}") from None
+
+    def max_depth(self) -> int:
+        """Depth of the deepest node (root = 0)."""
+        return max((node.depth for node in self.nodes), default=0)
+
+
+def _gather_wide_children(binary: BinaryBVH, binary_root: int, width: int) -> List[int]:
+    """Pick up to ``width`` binary-node indices forming one wide node's children."""
+    slots = [binary_root]
+    while len(slots) < width:
+        # Expand the internal slot with the largest surface area.
+        best = -1
+        best_area = -1.0
+        for pos, b_index in enumerate(slots):
+            node = binary.nodes[b_index]
+            if node.is_leaf:
+                continue
+            area = surface_area(node.bounds)
+            if area > best_area:
+                best_area = area
+                best = pos
+        if best < 0:
+            break  # all slots are leaves
+        node = binary.nodes[slots[best]]
+        slots[best : best + 1] = [node.left, node.right]
+    return slots
+
+
+def collapse_to_wide(binary: BinaryBVH, width: int = 6) -> WideBVH:
+    """Collapse ``binary`` into a :class:`WideBVH` with branching factor ``width``.
+
+    Binary leaves map 1:1 to wide leaves; binary internal nodes are grouped
+    so every wide internal node has between 2 and ``width`` children.
+    """
+    if width < 2:
+        raise BVHError("wide BVH width must be >= 2")
+    wide = WideBVH(scene=binary.scene, width=width)
+
+    root_binary = binary.nodes[binary.root]
+    wide.nodes.append(WideNode(index=0, bounds=root_binary.bounds, depth=0))
+    if root_binary.is_leaf:
+        wide.nodes[0].prim_ids = list(binary.leaf_prims(binary.root))
+        _finalize_child_arrays(wide)
+        return wide
+
+    # Work stack of (wide node index, binary node index backing it).
+    work: List[Tuple[int, int]] = [(0, binary.root)]
+    while work:
+        wide_index, binary_index = work.pop()
+        parent = wide.nodes[wide_index]
+        for child_binary in _gather_wide_children(binary, binary_index, width):
+            child_node = binary.nodes[child_binary]
+            child_index = len(wide.nodes)
+            child = WideNode(
+                index=child_index, bounds=child_node.bounds, depth=parent.depth + 1
+            )
+            wide.nodes.append(child)
+            parent.children.append(child_index)
+            if child_node.is_leaf:
+                child.prim_ids = list(binary.leaf_prims(child_binary))
+            else:
+                work.append((child_index, child_binary))
+    _finalize_child_arrays(wide)
+    return wide
+
+
+def _finalize_child_arrays(wide: WideBVH) -> None:
+    """Precompute per-node child-bounds arrays for the batched slab test."""
+    wide.child_los = []
+    wide.child_his = []
+    for node in wide.nodes:
+        if node.is_leaf:
+            wide.child_los.append(np.zeros((0, 3)))
+            wide.child_his.append(np.zeros((0, 3)))
+        else:
+            wide.child_los.append(
+                np.stack([wide.nodes[c].bounds.lo for c in node.children])
+            )
+            wide.child_his.append(
+                np.stack([wide.nodes[c].bounds.hi for c in node.children])
+            )

@@ -1,0 +1,195 @@
+"""Command-line interface.
+
+Installed as ``python -m repro``.  Commands:
+
+``scenes``
+    List the benchmark workloads with their BVH statistics.
+``simulate``
+    Trace one scene and time it under one configuration.
+``compare``
+    Trace one scene once and time it under several configurations.
+``experiment``
+    Regenerate one paper table/figure (or ``all``).
+``overhead``
+    Print the SMS hardware-overhead analysis (paper VI-C).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.api import time_traces, trace_scene
+from repro.core.overhead import sms_hardware_overhead
+from repro.core.presets import named_config
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SMS shared-memory traversal stacks (ISPASS 2025) "
+        "reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenes", help="list benchmark workloads")
+
+    sim = sub.add_parser("simulate", help="simulate one scene/config pair")
+    _add_workload_args(sim)
+    sim.add_argument("--config", default="RB_8+SH_8+SK+RA",
+                     help="configuration label, e.g. RB_8 or RB_8+SH_8+SK+RA")
+
+    cmp_cmd = sub.add_parser("compare", help="compare configurations on one scene")
+    _add_workload_args(cmp_cmd)
+    cmp_cmd.add_argument(
+        "--configs",
+        default="RB_8,RB_8+SH_8,RB_8+SH_8+SK+RA,RB_FULL",
+        help="comma-separated configuration labels",
+    )
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("name", help="experiment id (table1, fig13, ...) or 'all'")
+    exp.add_argument("--scale", type=float, default=1.0,
+                     help="workload resolution scale (default 1.0)")
+    exp.add_argument("--scenes", default="",
+                     help="comma-separated scene subset (default: full suite)")
+
+    sub.add_parser("overhead", help="print the SMS hardware overhead analysis")
+    return parser
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scene", default="CRNVL", help="workload name")
+    parser.add_argument("--width", type=int, default=24)
+    parser.add_argument("--height", type=int, default=24)
+    parser.add_argument("--spp", type=int, default=1)
+    parser.add_argument("--bounces", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_scenes() -> int:
+    from repro.bvh.api import build_bvh
+    from repro.bvh.stats import compute_stats
+    from repro.workloads.lumibench import SCENE_NAMES, load_scene, scene_recipe
+
+    print(f"{'scene':<7} {'triangles':>10} {'BVH MB':>8} {'depth':>6}  paper")
+    for name in SCENE_NAMES:
+        scene = load_scene(name)
+        stats = compute_stats(build_bvh(scene))
+        recipe = scene_recipe(name)
+        print(
+            f"{name:<7} {stats.triangle_count:>10} {stats.megabytes:>8.2f} "
+            f"{stats.max_depth:>6}  {recipe.paper_triangles} tris, "
+            f"{recipe.paper_bvh_mb} MB"
+        )
+    return 0
+
+
+def _trace(args) -> "tuple":
+    from repro.workloads.lumibench import load_scene
+
+    scene = load_scene(args.scene)
+    workload = trace_scene(
+        scene,
+        width=args.width,
+        height=args.height,
+        spp=args.spp,
+        max_bounces=args.bounces,
+        seed=args.seed,
+    )
+    print(
+        f"scene {scene.name}: {scene.triangle_count} triangles, "
+        f"{workload.ray_count} rays, {workload.total_steps} node visits"
+    )
+    return scene, workload
+
+
+def _cmd_simulate(args) -> int:
+    scene, workload = _trace(args)
+    result = time_traces(
+        workload.all_traces, named_config(args.config), scene_name=scene.name
+    )
+    counters = result.counters
+    print(f"config   : {result.label}")
+    print(f"IPC      : {result.ipc:.4f}  ({result.cycles} cycles)")
+    print(f"off-chip : {result.offchip_accesses} DRAM transactions")
+    print(
+        f"stack ops: {counters.stack_global_ops} global, "
+        f"{counters.stack_shared_ops} shared "
+        f"(bank-conflict delay {counters.bank_conflict_delay_cycles} cycles)"
+    )
+    if counters.borrows or counters.flushes:
+        print(f"realloc  : {counters.borrows} borrows, {counters.flushes} flushes")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    scene, workload = _trace(args)
+    labels = [label.strip() for label in args.configs.split(",") if label.strip()]
+    results = [
+        time_traces(workload.all_traces, named_config(label), scene_name=scene.name)
+        for label in labels
+    ]
+    base = results[0]
+    print(f"\n{'config':<20} {'IPC':>8} {'vs ' + base.label:>10} {'off-chip':>9}")
+    for result in results:
+        print(
+            f"{result.label:<20} {result.ipc:>8.4f} "
+            f"{result.ipc / base.ipc:>10.3f} {result.offchip_accesses:>9}"
+        )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments.common import WorkloadCache
+    from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+    from repro.workloads.params import DEFAULT_PARAMS
+
+    params = (
+        DEFAULT_PARAMS if args.scale == 1.0 else DEFAULT_PARAMS.scaled(args.scale)
+    )
+    scene_names = (
+        [s.strip() for s in args.scenes.split(",") if s.strip()] or None
+    )
+    cache = WorkloadCache(params=params, scene_names=scene_names)
+    if args.name.lower() == "all":
+        for name, text in run_all(cache).items():
+            print(f"\n===== {name} =====")
+            print(text)
+        return 0
+    print(run_experiment(args.name, cache))
+    return 0
+
+
+def _cmd_overhead() -> int:
+    print(sms_hardware_overhead().summary())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "scenes":
+            return _cmd_scenes()
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "overhead":
+            return _cmd_overhead()
+        parser.error(f"unknown command {args.command!r}")
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""The public API of the reproduction.
+
+Most users need three things:
+
+* :func:`repro.core.api.simulate` — trace a scene and time it under a
+  configuration;
+* :mod:`repro.core.presets` — the paper's named configurations (RB_8,
+  RB_8+SH_8+SK+RA, RB_FULL, ...);
+* :class:`repro.core.results.SimulationResult` — IPC, traffic and stack
+  statistics for one (scene, config) pair.
+"""
+
+from repro.core.api import simulate, trace_scene, time_traces
+from repro.core.presets import (
+    baseline_config,
+    full_stack_config,
+    sms_config,
+    named_config,
+    table1_config,
+    PAPER_DEFAULT_SMS,
+)
+from repro.core.results import SimulationResult
+from repro.core.overhead import sms_hardware_overhead, OverheadReport
+
+__all__ = [
+    "simulate",
+    "trace_scene",
+    "time_traces",
+    "baseline_config",
+    "full_stack_config",
+    "sms_config",
+    "named_config",
+    "table1_config",
+    "PAPER_DEFAULT_SMS",
+    "SimulationResult",
+    "sms_hardware_overhead",
+    "OverheadReport",
+]

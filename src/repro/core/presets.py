@@ -1,0 +1,93 @@
+"""Named GPU configurations matching the paper's figure labels.
+
+``RB_N`` — baseline with an N-entry ray-buffer stack, no SH stack.
+``RB_N+SH_M`` — SMS with an M-entry shared-memory stack.
+``+SK`` — skewed bank access; ``+RA`` — intra-warp reallocation.
+``RB_FULL`` — unbounded on-chip stack (upper bound).
+
+The paper's proposed design is ``RB_8+SH_8+SK+RA`` (56 KB L1D + 8 KB
+shared memory out of the 64 KB unified SRAM).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ConfigError
+from repro.gpu.config import GPUConfig
+
+
+def baseline_config(rb_entries: int = 8, **overrides) -> GPUConfig:
+    """The RB_N baseline: short on-chip stack spilling to global memory."""
+    return GPUConfig(rb_stack_entries=rb_entries, sh_stack_entries=0, **overrides)
+
+
+def full_stack_config(**overrides) -> GPUConfig:
+    """RB_FULL: impractical full per-ray on-chip stack (upper bound)."""
+    return GPUConfig(rb_stack_entries=None, sh_stack_entries=0, **overrides)
+
+
+def sms_config(
+    rb_entries: int = 8,
+    sh_entries: int = 8,
+    skewed: bool = True,
+    realloc: bool = True,
+    inter_warp: bool = False,
+    **overrides,
+) -> GPUConfig:
+    """An SMS configuration; defaults to the paper's proposed design."""
+    return GPUConfig(
+        rb_stack_entries=rb_entries,
+        sh_stack_entries=sh_entries,
+        skewed_bank_access=skewed,
+        intra_warp_realloc=realloc,
+        inter_warp_realloc=inter_warp,
+        **overrides,
+    )
+
+
+#: The paper's proposed configuration (section IV-B).
+PAPER_DEFAULT_SMS = sms_config()
+
+
+def table1_config(**overrides) -> GPUConfig:
+    """The paper's Table I parameters with no memory-system scaling.
+
+    The library default scales the L2 to the ~1:100-scaled stand-in
+    scenes (see ``GPUConfig``); this preset restores the paper's absolute
+    3 MB L2 for runs against full-size scenes or sensitivity studies.
+    """
+    overrides.setdefault("l2_bytes", 3 * 1024 * 1024)
+    return GPUConfig(**overrides)
+
+_NAME_PATTERN = re.compile(
+    r"^RB_(?P<rb>FULL|\d+)(?:\+SH_(?P<sh>\d+))?"
+    r"(?P<sk>\+SK)?(?P<ra>\+RA)?(?P<iw>\+IW)?$"
+)
+
+
+def named_config(name: str, **overrides) -> GPUConfig:
+    """Parse a figure-style label like ``"RB_8+SH_8+SK+RA"`` into a config."""
+    match = _NAME_PATTERN.match(name.strip())
+    if not match:
+        raise ConfigError(
+            f"unrecognized configuration name {name!r} "
+            "(expected e.g. RB_8, RB_FULL, RB_8+SH_8+SK+RA)"
+        )
+    if match.group("rb") == "FULL":
+        if match.group("sh") or match.group("sk") or match.group("ra"):
+            raise ConfigError("RB_FULL takes no SH/SK/RA suffixes")
+        return full_stack_config(**overrides)
+    rb = int(match.group("rb"))
+    if not match.group("sh"):
+        if match.group("sk") or match.group("ra") or match.group("iw"):
+            raise ConfigError("SK/RA/IW require an SH stack")
+        return baseline_config(rb, **overrides)
+    return sms_config(
+        rb_entries=rb,
+        sh_entries=int(match.group("sh")),
+        skewed=bool(match.group("sk")),
+        realloc=bool(match.group("ra")),
+        inter_warp=bool(match.group("iw")),
+        **overrides,
+    )

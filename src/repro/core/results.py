@@ -1,0 +1,56 @@
+"""Per-run result record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.counters import Counters
+from repro.trace.depth import DepthStats
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured for one (scene, configuration) pair."""
+
+    scene_name: str
+    config: GPUConfig
+    counters: Counters
+    depth_stats: Optional[DepthStats] = None
+    ray_count: int = 0
+
+    @property
+    def label(self) -> str:
+        """Figure-style configuration label."""
+        return self.config.describe()
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        return self.counters.ipc
+
+    @property
+    def cycles(self) -> int:
+        """Total simulated cycles."""
+        return self.counters.cycles
+
+    @property
+    def offchip_accesses(self) -> int:
+        """Total DRAM transactions."""
+        return self.counters.offchip_accesses
+
+    def speedup_over(self, other: "SimulationResult") -> float:
+        """IPC ratio of this run over ``other`` (same workload assumed)."""
+        if other.ipc == 0:
+            return float("inf")
+        return self.ipc / other.ipc
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.scene_name:>8s} {self.label:<18s} "
+            f"IPC={self.ipc:7.3f} cycles={self.cycles:>10d} "
+            f"offchip={self.offchip_accesses:>8d} "
+            f"bankdelay={self.counters.bank_conflict_delay_cycles:>7d}"
+        )

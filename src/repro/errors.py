@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything this package raises with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (degenerate triangle, empty bounds, ...)."""
+
+
+class SceneError(ReproError):
+    """Invalid scene construction or unknown workload name."""
+
+
+class BVHError(ReproError):
+    """BVH construction or validation failure."""
+
+
+class TraversalError(ReproError):
+    """Inconsistent traversal trace or stack event stream."""
+
+
+class StackError(ReproError):
+    """Traversal stack protocol violation (pop from empty, bad reload, ...)."""
+
+
+class ConfigError(ReproError):
+    """Invalid simulator configuration parameters."""
+
+
+class SimulationError(ReproError):
+    """Timing simulation reached an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """Experiment driver misuse (unknown figure id, missing results, ...)."""

@@ -1,0 +1,507 @@
+"""Ablation studies beyond the paper's figures (DESIGN.md section 7).
+
+The paper fixes several design constants by heuristic; these sweeps probe
+the space around them:
+
+* ``borrow_limit_sweep`` — the paper caps concurrent borrowed SH stacks at
+  4 (section VI-B); how much do fewer/more buy?
+* ``flush_limit_sweep`` — the paper caps consecutive flushes at 3.
+* ``skew_scaling`` — section V-A claims skewed access "ensures consistent
+  performance gains across different stack sizes"; measure the
+  bank-conflict-delay reduction per SH size.
+* ``spill_policy_study`` — how much of the baseline's loss is specifically
+  *uncacheable* spill traffic (the paper's regime) versus spills that
+  enjoy cache residency (the small-scene regime).
+* ``stackless_comparison`` — related-work context (section VIII-A): the
+  node-visit overhead of stackless restart-trail traversal, which SMS
+  avoids by keeping a real stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.presets import baseline_config, sms_config
+from repro.experiments.common import WorkloadCache, geomean, mean_row, normalized_ipc
+from repro.experiments.report import format_table
+from repro.trace.restart import restart_trail_trace
+from repro.trace.path import _default_camera
+
+
+@dataclass
+class SweepResult:
+    """Geomean normalized IPC per swept value."""
+
+    means: Dict[str, float]
+    per_scene: Dict[str, Dict[str, float]]
+
+
+def borrow_limit_sweep(
+    cache: Optional[WorkloadCache] = None, limits=(0, 1, 2, 4, 8)
+) -> SweepResult:
+    """IPC vs the intra-warp reallocation borrow limit."""
+    cache = cache or WorkloadCache()
+    configs = [baseline_config()]
+    for limit in limits:
+        configs.append(
+            sms_config(realloc=limit > 0).with_(max_borrows=max(limit, 1))
+        )
+    results = cache.sweep(configs)
+    per_scene_raw = normalized_ipc(results, "RB_8")
+    labels = list(next(iter(results.values())).keys())[1:]
+    renamed = {
+        scene: {
+            f"borrows={limit}": values[label]
+            for limit, label in zip(limits, labels)
+        }
+        for scene, values in per_scene_raw.items()
+    }
+    return SweepResult(means=mean_row(renamed), per_scene=renamed)
+
+
+def flush_limit_sweep(
+    cache: Optional[WorkloadCache] = None, limits=(0, 1, 3, 6)
+) -> SweepResult:
+    """IPC vs the consecutive-flush limit (paper fixes 3)."""
+    cache = cache or WorkloadCache()
+    configs = [baseline_config()]
+    for limit in limits:
+        configs.append(sms_config().with_(max_flushes=max(limit, 0)))
+    results = cache.sweep(configs)
+    per_scene_raw = normalized_ipc(results, "RB_8")
+    labels = list(next(iter(results.values())).keys())[1:]
+    renamed = {
+        scene: {
+            f"flushes={limit}": values[label]
+            for limit, label in zip(limits, labels)
+        }
+        for scene, values in per_scene_raw.items()
+    }
+    return SweepResult(means=mean_row(renamed), per_scene=renamed)
+
+
+def skew_scaling(
+    cache: Optional[WorkloadCache] = None, sizes=(4, 8, 16)
+) -> Dict[str, float]:
+    """Bank-conflict delay reduction from skewing, per SH stack size.
+
+    Returns ``{"SH_N": fractional reduction}`` — the paper's scalability
+    claim predicts consistent reductions across sizes.
+    """
+    cache = cache or WorkloadCache()
+    reductions: Dict[str, float] = {}
+    for size in sizes:
+        plain = sms_config(sh_entries=size, skewed=False, realloc=False)
+        skewed = sms_config(sh_entries=size, skewed=True, realloc=False)
+        ratios = []
+        for name in cache.names:
+            before = cache.simulate(name, plain).counters.bank_conflict_delay_cycles
+            after = cache.simulate(name, skewed).counters.bank_conflict_delay_cycles
+            if before > 0:
+                ratios.append(after / before)
+        reductions[f"SH_{size}"] = 1.0 - geomean(ratios) if ratios else 0.0
+    return reductions
+
+
+def spill_policy_study(cache: Optional[WorkloadCache] = None) -> Dict[str, float]:
+    """Baseline IPC under each spill cacheability (normalized to uncached).
+
+    Quantifies how much of the stack-traffic penalty depends on spills
+    actually reaching DRAM — the scale-regime question DESIGN.md section 2
+    documents.
+    """
+    cache = cache or WorkloadCache()
+    configs = [
+        baseline_config(spill_cache_policy=policy)
+        for policy in ("uncached", "l2", "l1")
+    ]
+    results = cache.sweep(configs)
+    labels = list(next(iter(results.values())).keys())
+    per_scene = normalized_ipc(results, labels[0])
+    means = mean_row(per_scene)
+    return {
+        policy: means[label]
+        for policy, label in zip(("uncached", "l2", "l1"), labels)
+    }
+
+
+@dataclass
+class StacklessResult:
+    """Visit overhead of restart-trail traversal per scene."""
+
+    overhead: Dict[str, float]      # restart visits / DFS visits
+    restarts_per_ray: Dict[str, float]
+
+
+def stackless_comparison(
+    cache: Optional[WorkloadCache] = None, rays_per_scene: int = 128
+) -> StacklessResult:
+    """Node-visit overhead of stackless restart-trail traversal."""
+    cache = cache or WorkloadCache()
+    overhead: Dict[str, float] = {}
+    restarts: Dict[str, float] = {}
+    from repro.trace.tracer import Tracer
+
+    for name in cache.names:
+        traced = cache.traced(name)
+        bvh = traced.bvh
+        camera = _default_camera(bvh, 16, 16)
+        all_rays = [ray for _, ray in camera.rays()]
+        stride = max(1, len(all_rays) // rays_per_scene)
+        sampled = all_rays[::stride][:rays_per_scene]
+        dfs_visits = 0
+        restart_visits = 0
+        restart_count = 0
+        rays = len(sampled)
+        tracer = Tracer(bvh)
+        for ray in sampled:
+            dfs_visits += tracer.trace(ray).trace.step_count
+            result = restart_trail_trace(bvh, ray)
+            restart_visits += result.node_visits
+            restart_count += result.restarts
+        overhead[name] = restart_visits / dfs_visits if dfs_visits else 0.0
+        restarts[name] = restart_count / rays if rays else 0.0
+    return StacklessResult(overhead=overhead, restarts_per_ray=restarts)
+
+
+@dataclass
+class ShortStackStudyResult:
+    """Restart-trail hybrid: overhead vs on-chip stack capacity."""
+
+    visit_overhead: Dict[int, float]   # capacity -> visits vs DFS
+    restarts_per_ray: Dict[int, float]
+
+
+def short_stack_study(
+    scene_names=("CRNVL", "PARTY", "SHIP"),
+    capacities=(0, 2, 4, 8, 16),
+    rays_per_scene: int = 96,
+    resolution: int = 16,
+) -> ShortStackStudyResult:
+    """Laine's short-stack+restart scheme across stack capacities.
+
+    Quantifies the paper's VIII-A remark that backing a short stack with
+    more on-chip entries (exactly what the SMS SH stack provides) shrinks
+    restart overhead: each added entry removes restart replays until, at
+    the workload's pending-sibling depth, restarts vanish entirely.
+    """
+    from repro.bvh.api import build_bvh
+    from repro.trace.restart import short_stack_restart_trace
+    from repro.trace.tracer import Tracer
+    from repro.workloads.lumibench import load_scene
+
+    visits: Dict[int, int] = {c: 0 for c in capacities}
+    restart_totals: Dict[int, int] = {c: 0 for c in capacities}
+    dfs_visits = 0
+    total_rays = 0
+    for name in scene_names:
+        scene = load_scene(name)
+        bvh = build_bvh(scene)
+        tracer = Tracer(bvh)
+        camera = _default_camera(bvh, resolution, resolution)
+        all_rays = [ray for _, ray in camera.rays()]
+        stride = max(1, len(all_rays) // rays_per_scene)
+        sampled = all_rays[::stride][:rays_per_scene]
+        total_rays += len(sampled)
+        for ray in sampled:
+            dfs_visits += tracer.trace(ray).trace.step_count
+            for capacity in capacities:
+                result = short_stack_restart_trace(
+                    bvh, ray, stack_entries=capacity
+                )
+                visits[capacity] += result.node_visits
+                restart_totals[capacity] += result.restarts
+    return ShortStackStudyResult(
+        visit_overhead={
+            c: visits[c] / dfs_visits if dfs_visits else 0.0 for c in capacities
+        },
+        restarts_per_ray={
+            c: restart_totals[c] / total_rays if total_rays else 0.0
+            for c in capacities
+        },
+    )
+
+
+def inter_warp_study(
+    cache: Optional[WorkloadCache] = None,
+) -> SweepResult:
+    """Inter-warp vs intra-warp reallocation (paper V-B's rejected design).
+
+    The paper limits borrowing to the same warp, predicting inter-warp
+    tracking complexity for little benefit.  This study measures that
+    benefit at the paper's design point (RB_8+SH_8) and at an
+    under-provisioned one (RB_2+SH_2), where cross-warp borrowing has
+    more to offer.
+    """
+    cache = cache or WorkloadCache()
+    configs = [
+        baseline_config(),
+        sms_config(),
+        sms_config(inter_warp=True),
+        sms_config(rb_entries=2, sh_entries=2),
+        sms_config(rb_entries=2, sh_entries=2, inter_warp=True),
+    ]
+    results = cache.sweep(configs)
+    per_scene = normalized_ipc(results, "RB_8")
+    return SweepResult(means=mean_row(per_scene), per_scene=per_scene)
+
+
+@dataclass
+class SizeConsistencyResult:
+    """SMS speedup at multiple workload resolutions (paper VII-A claim)."""
+
+    speedups: Dict[str, Dict[str, float]]  # resolution label -> scene -> ratio
+
+    def spread(self) -> float:
+        """Largest cross-resolution speedup difference over all scenes."""
+        worst = 0.0
+        scenes = next(iter(self.speedups.values())).keys()
+        for scene in scenes:
+            values = [self.speedups[label][scene] for label in self.speedups]
+            worst = max(worst, max(values) - min(values))
+        return worst
+
+
+def size_consistency_study(
+    scene_names=("CRNVL", "PARTY", "SHIP", "SPNZA"),
+    resolutions=(16, 24, 32),
+) -> SizeConsistencyResult:
+    """Validate the paper's VII-A claim that trends hold across sizes.
+
+    The paper evaluates complex scenes at reduced resolution, arguing
+    "performance trends have been observed to remain consistent across
+    varying workload sizes."  This study measures the SMS-vs-baseline
+    speedup per scene at several resolutions and reports the spread.
+    """
+    from repro.bvh.api import build_bvh
+    from repro.core.api import time_traces
+    from repro.trace.path import generate_workload
+    from repro.workloads.lumibench import load_scene
+
+    base_config = baseline_config()
+    sms = sms_config()
+    speedups: Dict[str, Dict[str, float]] = {}
+    for resolution in resolutions:
+        label = f"{resolution}x{resolution}"
+        speedups[label] = {}
+        for name in scene_names:
+            scene = load_scene(name)
+            bvh = build_bvh(scene)
+            workload = generate_workload(
+                bvh, width=resolution, height=resolution, max_bounces=3
+            )
+            traces = workload.all_traces
+            base = time_traces(traces, base_config, scene_name=name)
+            fast = time_traces(traces, sms, scene_name=name)
+            speedups[label][name] = fast.ipc / base.ipc if base.ipc else 0.0
+    return SizeConsistencyResult(speedups=speedups)
+
+
+def warp_occupancy_sweep(
+    cache: Optional[WorkloadCache] = None, slots=(1, 2, 4, 8)
+) -> SweepResult:
+    """IPC vs resident warps per RT unit (Table I fixes 4).
+
+    Latency hiding is what turns spill traffic from a latency problem
+    into a bandwidth problem; this sweep shows how much of the baseline's
+    performance depends on multi-warp overlap.
+    """
+    cache = cache or WorkloadCache()
+    configs = [baseline_config(max_warps_per_rt_unit=n) for n in slots]
+    results = cache.sweep(configs)
+    labels = list(next(iter(results.values())).keys())
+    baseline_label = labels[slots.index(4)] if 4 in slots else labels[0]
+    per_scene_raw = normalized_ipc(results, baseline_label)
+    renamed = {
+        scene: {
+            f"warps={n}": values[label] for n, label in zip(slots, labels)
+        }
+        for scene, values in per_scene_raw.items()
+    }
+    return SweepResult(means=mean_row(renamed), per_scene=renamed)
+
+
+@dataclass
+class WidthStudyResult:
+    """Per BVH branching factor: depth statistics and SMS benefit."""
+
+    avg_depth: Dict[int, float]
+    max_depth: Dict[int, int]
+    sms_gain: Dict[int, float]  # SMS IPC / baseline IPC at that width
+
+
+def bvh_width_study(
+    scene_names=("CRNVL", "PARTY", "SHIP"),
+    widths=(2, 4, 6, 8),
+    resolution: int = 16,
+) -> WidthStudyResult:
+    """How the wide-BVH branching factor drives stack pressure.
+
+    The paper's Fig. 3 walkthrough uses BVH6 because wide nodes push up to
+    ``k - 1`` siblings per visit; this sweep quantifies that: higher
+    branching factors deepen the stack-demand distribution and therefore
+    raise the benefit of the SMS secondary stack.
+    """
+    from repro.bvh.api import build_bvh
+    from repro.core.api import time_traces
+    from repro.trace.depth import depth_statistics
+    from repro.trace.path import generate_workload
+    from repro.workloads.lumibench import load_scene
+
+    avg_depth: Dict[int, list] = {w: [] for w in widths}
+    max_depth: Dict[int, int] = {w: 0 for w in widths}
+    gains: Dict[int, list] = {w: [] for w in widths}
+    for name in scene_names:
+        scene = load_scene(name)
+        for width in widths:
+            bvh = build_bvh(scene, width=width)
+            workload = generate_workload(
+                bvh, width=resolution, height=resolution, max_bounces=2
+            )
+            stats = depth_statistics(workload.all_traces)
+            avg_depth[width].append(stats.avg_depth)
+            max_depth[width] = max(max_depth[width], stats.max_depth)
+            base = time_traces(
+                workload.all_traces, baseline_config(), scene_name=name
+            )
+            sms = time_traces(
+                workload.all_traces, sms_config(), scene_name=name
+            )
+            gains[width].append(sms.ipc / base.ipc if base.ipc else 0.0)
+    return WidthStudyResult(
+        avg_depth={w: sum(v) / len(v) for w, v in avg_depth.items()},
+        max_depth=max_depth,
+        sms_gain={w: geomean(v) for w, v in gains.items()},
+    )
+
+
+@dataclass
+class WarpFormationResult:
+    """Linear vs tiled warp formation, per scene."""
+
+    fetch_lines_linear: Dict[str, int]
+    fetch_lines_tiled: Dict[str, int]
+    ipc_gain: Dict[str, float]  # tiled IPC / linear IPC
+
+
+def warp_formation_study(
+    scene_names=("CRNVL", "LANDS", "SPNZA"), resolution: int = 24
+) -> WarpFormationResult:
+    """Does tile-major warp formation improve fetch coalescing?
+
+    Real GPUs pack primary rays in screen tiles; this study reorders the
+    primary wave into 8x4 tiles (one warp per tile) and measures the
+    change in unique node-fetch lines and IPC under the default SMS
+    configuration.
+    """
+    from repro.bvh.api import build_bvh
+    from repro.core.api import time_traces
+    from repro.trace.ordering import reorder_wave_tiled
+    from repro.trace.path import generate_workload
+    from repro.workloads.lumibench import load_scene
+
+    fetch_linear: Dict[str, int] = {}
+    fetch_tiled: Dict[str, int] = {}
+    gains: Dict[str, float] = {}
+    config = sms_config()
+    for name in scene_names:
+        scene = load_scene(name)
+        bvh = build_bvh(scene)
+        workload = generate_workload(
+            bvh, width=resolution, height=resolution, max_bounces=2
+        )
+        linear_traces = workload.all_traces
+        tiled_primary = reorder_wave_tiled(
+            workload.waves[0], resolution, resolution
+        )
+        tiled_traces = tiled_primary + [
+            t for wave in workload.waves[1:] for t in wave
+        ]
+        linear = time_traces(linear_traces, config, scene_name=name)
+        tiled = time_traces(tiled_traces, config, scene_name=name)
+        fetch_linear[name] = linear.counters.node_fetch_lines
+        fetch_tiled[name] = tiled.counters.node_fetch_lines
+        gains[name] = tiled.ipc / linear.ipc if linear.ipc else 0.0
+    return WarpFormationResult(
+        fetch_lines_linear=fetch_linear,
+        fetch_lines_tiled=fetch_tiled,
+        ipc_gain=gains,
+    )
+
+
+@dataclass
+class PacketStudyResult:
+    """Shared-stack packet traversal vs per-ray traversal, per wave kind."""
+
+    stack_push_ratio: Dict[str, float]  # packet pushes / sum of solo pushes
+    visit_ratio: Dict[str, float]       # packet visits / sum of solo visits
+
+
+def packet_study(
+    scene_name: str = "CRNVL", resolution: int = 16, group_size: int = 8
+) -> PacketStudyResult:
+    """Quantify the paper's VIII-B trade-off on coherent vs bounce rays.
+
+    Groups consecutive rays of the primary wave (coherent) and of the
+    first bounce wave (incoherent) into packets sharing one stack, and
+    compares stack pushes and node visits against per-ray traversal.
+    Expected shape: packets slash stack entries on coherent rays but lose
+    their advantage — and inflate visits per ray — on incoherent ones.
+    """
+    from repro.bvh.api import build_bvh
+    from repro.geometry.ray import Ray
+    from repro.geometry.vec import normalize
+    from repro.scene.camera import PinholeCamera
+    from repro.trace.packet import packet_trace
+    from repro.trace.path import _default_camera, generate_workload
+    from repro.trace.rng import DeterministicRng
+    from repro.trace.tracer import Tracer
+    from repro.workloads.lumibench import load_scene
+    import numpy as np
+
+    scene = load_scene(scene_name)
+    bvh = build_bvh(scene)
+    tracer = Tracer(bvh)
+    camera = _default_camera(bvh, resolution, resolution)
+    rng = DeterministicRng(7)
+
+    primary = [ray for _, ray in camera.rays()]
+    # Build an incoherent set: bounce rays from primary hit points.
+    bounce = []
+    for pixel, ray in enumerate(primary):
+        solo = tracer.trace(ray)
+        if not solo.hit:
+            continue
+        tri = scene.triangle(solo.hit_prim)
+        normal = tri.normal()
+        if float(np.dot(normal, ray.direction)) > 0.0:
+            normal = -normal
+        direction = rng.cosine_hemisphere(normal, pixel)
+        bounce.append(
+            Ray(origin=ray.at(solo.hit_t) + normal * 1e-4, direction=direction)
+        )
+
+    push_ratio: Dict[str, float] = {}
+    visit_ratio: Dict[str, float] = {}
+    for label, rays in (("primary", primary), ("bounce", bounce)):
+        packet_pushes = packet_visits = 0
+        solo_pushes = solo_visits = 0
+        for start in range(0, len(rays) - group_size + 1, group_size):
+            group = rays[start : start + group_size]
+            packet = packet_trace(bvh, group)
+            packet_pushes += packet.stack_pushes
+            packet_visits += packet.node_visits
+            for ray in group:
+                trace = tracer.trace(ray).trace
+                solo_pushes += sum(len(s.pushes) for s in trace.steps)
+                solo_visits += trace.step_count
+        push_ratio[label] = packet_pushes / solo_pushes if solo_pushes else 0.0
+        visit_ratio[label] = packet_visits / solo_visits if solo_visits else 0.0
+    return PacketStudyResult(stack_push_ratio=push_ratio, visit_ratio=visit_ratio)
+
+
+def render_sweep(result: SweepResult, title: str) -> str:
+    """Render a sweep's mean row."""
+    rows = [(label, value) for label, value in result.means.items()]
+    return format_table(["config", "IPC (norm to RB_8)"], rows, title=title)

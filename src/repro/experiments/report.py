@@ -1,0 +1,54 @@
+"""Plain-text rendering of experiment results.
+
+Every figure driver renders through these helpers so the benchmark
+harness prints uniform, diff-able tables (the "rows/series the paper
+reports").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bar_series(
+    series: Dict[str, float],
+    title: str = "",
+    width: int = 40,
+    reference: float = 1.0,
+) -> str:
+    """Render a labelled horizontal bar chart (for normalized-IPC figures)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    peak = max(list(series.values()) + [reference, 1e-12])
+    for label, value in series.items():
+        bar = "#" * max(1, int(round(value / peak * width)))
+        lines.append(f"{label:>20s} {value:6.3f} {bar}")
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

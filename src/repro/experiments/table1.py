@@ -1,0 +1,58 @@
+"""Table I — baseline GPU parameters.
+
+Rendered from the live configuration objects so the table can never
+drift from what the simulator actually runs.  Two columns are shown:
+the paper's absolute parameters (``table1_config``) and the library's
+scene-scaled default (see ``GPUConfig`` for the scaling rationale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.presets import table1_config
+from repro.experiments.report import format_table
+from repro.gpu.config import GPUConfig
+
+
+@dataclass
+class Table1Result:
+    """The two configurations the table describes."""
+
+    paper: GPUConfig
+    default: GPUConfig
+
+
+def run() -> Table1Result:
+    """Materialize both configurations."""
+    return Table1Result(paper=table1_config(), default=GPUConfig())
+
+
+def render(result: Table1Result) -> str:
+    """The parameter table."""
+    paper, default = result.paper, result.default
+    rows = [
+        ("# SMs", paper.num_sms, default.num_sms),
+        ("warp size", paper.warp_size, default.warp_size),
+        ("warp scheduler", "GTO", "GTO"),
+        ("# RT units per SM", paper.rt_units_per_sm, default.rt_units_per_sm),
+        ("max warps per RT unit", paper.max_warps_per_rt_unit,
+         default.max_warps_per_rt_unit),
+        ("RB stack entries / thread", paper.rb_stack_entries,
+         default.rb_stack_entries),
+        ("L1D/shared SRAM", f"{paper.unified_cache_bytes // 1024}KB",
+         f"{default.unified_cache_bytes // 1024}KB"),
+        ("L1D latency / assoc", f"{paper.l1_latency} cyc, fully assoc",
+         f"{default.l1_latency} cyc, fully assoc"),
+        ("L2 size", f"{paper.l2_bytes // 1024}KB",
+         f"{default.l2_bytes // 1024}KB (scene-scaled)"),
+        ("L2 latency / assoc", f"{paper.l2_latency} cyc, {paper.l2_assoc}-way",
+         f"{default.l2_latency} cyc, {default.l2_assoc}-way"),
+        ("DRAM latency", paper.dram_latency, default.dram_latency),
+        ("line size", paper.line_bytes, default.line_bytes),
+    ]
+    return format_table(
+        ["parameter", "paper (Table I)", "library default"],
+        rows,
+        title="Table I: baseline GPU parameters",
+    )

@@ -1,0 +1,43 @@
+"""Geometric primitives and intersection kernels.
+
+This subpackage is the lowest layer of the reproduction: 3-vectors, rays,
+axis-aligned bounding boxes (AABBs), triangles, and the two intersection
+tests every BVH traversal relies on — the slab ray/AABB test and the
+Moeller-Trumbore ray/triangle test.  Everything is numpy-backed and supports
+both scalar use (one ray, one box) and batched use (one ray against the
+``k`` children of a wide BVH node at once).
+"""
+
+from repro.geometry.vec import (
+    Vec3,
+    cross,
+    dot,
+    normalize,
+    vec3,
+)
+from repro.geometry.aabb import AABB, union, surface_area
+from repro.geometry.ray import Ray
+from repro.geometry.triangle import Triangle, triangle_aabb, triangle_centroid
+from repro.geometry.intersect import (
+    ray_aabb_intersect,
+    ray_aabb_intersect_batch,
+    ray_triangle_intersect,
+)
+
+__all__ = [
+    "Vec3",
+    "vec3",
+    "dot",
+    "cross",
+    "normalize",
+    "AABB",
+    "union",
+    "surface_area",
+    "Ray",
+    "Triangle",
+    "triangle_aabb",
+    "triangle_centroid",
+    "ray_aabb_intersect",
+    "ray_aabb_intersect_batch",
+    "ray_triangle_intersect",
+]

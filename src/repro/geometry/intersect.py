@@ -1,0 +1,92 @@
+"""Intersection kernels: slab ray/AABB and Moeller-Trumbore ray/triangle.
+
+These are the two tests the paper's RT unit performs in hardware (its
+ray-box and ray-triangle operation units, Fig. 2).  The batch AABB variant
+tests one ray against the ``k`` child bounds of a wide BVH node in a single
+numpy call, which is what keeps the functional tracer fast enough for the
+paper's full workload sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.geometry.ray import Ray
+from repro.geometry.triangle import Triangle
+
+
+def ray_aabb_intersect(ray: Ray, box: AABB) -> Optional[Tuple[float, float]]:
+    """Slab test of one ray against one box.
+
+    Returns the entry/exit parameters ``(t_enter, t_exit)`` clipped to the
+    ray's interval, or ``None`` when there is no overlap.  A ray originating
+    inside the box reports ``t_enter == ray.t_min``.
+    """
+    if box.is_empty():
+        return None
+    t1 = (box.lo - ray.origin) * ray.inv_direction
+    t2 = (box.hi - ray.origin) * ray.inv_direction
+    t_near = np.minimum(t1, t2)
+    t_far = np.maximum(t1, t2)
+    # NaNs arise when a zero direction component meets a coincident slab
+    # (0 * inf); treating them as non-constraining matches robust slab tests.
+    t_enter = float(np.nanmax(np.append(t_near, ray.t_min)))
+    t_exit = float(np.nanmin(np.append(t_far, ray.t_max)))
+    if t_enter > t_exit:
+        return None
+    return t_enter, t_exit
+
+
+def ray_aabb_intersect_batch(
+    ray: Ray, los: np.ndarray, his: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Slab test of one ray against ``k`` boxes at once.
+
+    Args:
+        ray: the ray to test.
+        los: ``(k, 3)`` array of box minimum corners.
+        his: ``(k, 3)`` array of box maximum corners.
+
+    Returns:
+        ``(hit, t_enter)`` — a boolean mask of shape ``(k,)`` and the entry
+        parameter for each box (meaningful only where ``hit`` is True).
+    """
+    t1 = (los - ray.origin) * ray.inv_direction
+    t2 = (his - ray.origin) * ray.inv_direction
+    t_near = np.minimum(t1, t2)
+    t_far = np.maximum(t1, t2)
+    with np.errstate(invalid="ignore"):
+        t_enter = np.maximum(np.nanmax(t_near, axis=1), ray.t_min)
+        t_exit = np.minimum(np.nanmin(t_far, axis=1), ray.t_max)
+    hit = t_enter <= t_exit
+    return hit, t_enter
+
+
+def ray_triangle_intersect(ray: Ray, tri: Triangle) -> Optional[float]:
+    """Moeller-Trumbore test; returns hit parameter ``t`` or ``None``.
+
+    Backface hits are reported (no culling), matching what an RT core's
+    triangle unit does by default for closest-hit traversal.
+    """
+    edge1 = tri.b - tri.a
+    edge2 = tri.c - tri.a
+    pvec = np.cross(ray.direction, edge2)
+    det = float(np.dot(edge1, pvec))
+    if abs(det) < 1e-12:
+        return None
+    inv_det = 1.0 / det
+    tvec = ray.origin - tri.a
+    u = float(np.dot(tvec, pvec)) * inv_det
+    if u < 0.0 or u > 1.0:
+        return None
+    qvec = np.cross(tvec, edge1)
+    v = float(np.dot(ray.direction, qvec)) * inv_det
+    if v < 0.0 or u + v > 1.0:
+        return None
+    t = float(np.dot(edge2, qvec)) * inv_det
+    if t < ray.t_min or t > ray.t_max:
+        return None
+    return t

@@ -1,0 +1,62 @@
+"""Three-component vector helpers.
+
+Vectors are plain ``numpy.ndarray`` objects of shape ``(3,)`` and dtype
+``float64``.  Using bare arrays (rather than a wrapper class) keeps batched
+geometry kernels free of boxing overhead; ``Vec3`` is exported as a type
+alias for documentation purposes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+#: Type alias used in signatures throughout the geometry layer.
+Vec3 = np.ndarray
+
+
+def vec3(x: float, y: float, z: float) -> Vec3:
+    """Build a float64 3-vector from components."""
+    return np.array([x, y, z], dtype=np.float64)
+
+
+def dot(a: Vec3, b: Vec3) -> float:
+    """Dot product of two 3-vectors."""
+    return float(a[0] * b[0] + a[1] * b[1] + a[2] * b[2])
+
+
+def cross(a: Vec3, b: Vec3) -> Vec3:
+    """Cross product of two 3-vectors."""
+    return vec3(
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    )
+
+
+def length(a: Vec3) -> float:
+    """Euclidean length of a 3-vector."""
+    return float(np.sqrt(dot(a, a)))
+
+
+def normalize(a: Vec3) -> Vec3:
+    """Return ``a`` scaled to unit length.
+
+    Raises:
+        GeometryError: if ``a`` is (numerically) the zero vector.
+    """
+    norm = length(a)
+    if norm < 1e-300:
+        raise GeometryError("cannot normalize a zero-length vector")
+    return a / norm
+
+
+def lerp(a: Vec3, b: Vec3, t: float) -> Vec3:
+    """Linear interpolation ``a + t * (b - a)``."""
+    return a + t * (b - a)
+
+
+def reflect(direction: Vec3, normal: Vec3) -> Vec3:
+    """Reflect ``direction`` about a unit ``normal``."""
+    return direction - 2.0 * dot(direction, normal) * normal

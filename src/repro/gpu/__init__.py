@@ -1,0 +1,34 @@
+"""Cycle-level timing model of the ray-tracing GPU.
+
+Models the architecture of paper Fig. 2/11: SMs containing an RT unit with
+a warp buffer (4 resident warps), per-thread traversal stacks managed by a
+stack manager, a memory scheduler in front of an L1D/L2/DRAM hierarchy,
+and banked shared memory with conflict serialization.  Warps replay the
+functional traces from ``repro.trace``; the simulator prices node fetches,
+intersection tests and every stack-management memory operation, yielding
+IPC and traffic counters.
+"""
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.counters import Counters
+from repro.gpu.cache import Cache
+from repro.gpu.dram import Dram
+from repro.gpu.hierarchy import MemoryHierarchy
+from repro.gpu.sharedmem import SharedMemorySim
+from repro.gpu.warp import Warp, pack_warps
+from repro.gpu.rt_unit import RTUnit
+from repro.gpu.simulator import GPUSimulator, SimOutput
+
+__all__ = [
+    "GPUConfig",
+    "Counters",
+    "Cache",
+    "Dram",
+    "MemoryHierarchy",
+    "SharedMemorySim",
+    "Warp",
+    "pack_warps",
+    "RTUnit",
+    "GPUSimulator",
+    "SimOutput",
+]

@@ -1,0 +1,96 @@
+"""Set-associative / fully-associative LRU caches.
+
+Write-back, write-allocate.  The model tracks tags and dirty bits only —
+no data — since the functional phase already resolved values; what matters
+here is hit/miss behaviour and dirty-eviction write traffic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    evicted_dirty_line: Optional[int] = None  # line address written back
+
+
+class Cache:
+    """An LRU cache of ``size_bytes`` with ``assoc`` ways.
+
+    ``assoc=None`` means fully associative (the paper's L1D).
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        line_bytes: int = 128,
+        assoc: Optional[int] = None,
+        name: str = "cache",
+    ) -> None:
+        if size_bytes < line_bytes:
+            raise ConfigError(f"{name}: size smaller than one line")
+        if size_bytes % line_bytes:
+            raise ConfigError(f"{name}: size not a multiple of the line size")
+        self.name = name
+        self.line_bytes = line_bytes
+        self.total_lines = size_bytes // line_bytes
+        if assoc is None:
+            assoc = self.total_lines
+        if assoc < 1 or self.total_lines % assoc:
+            raise ConfigError(f"{name}: lines not divisible into {assoc} ways")
+        self.assoc = assoc
+        self.num_sets = self.total_lines // assoc
+        # Each set maps line-address -> dirty flag, in LRU order (oldest first).
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_of(self, line_addr: int) -> OrderedDict:
+        return self._sets[(line_addr // self.line_bytes) % self.num_sets]
+
+    def line_address(self, address: int) -> int:
+        """Align an address down to its line."""
+        return address - (address % self.line_bytes)
+
+    def access(self, address: int, is_store: bool = False) -> AccessResult:
+        """Look up (and allocate on miss) the line containing ``address``."""
+        line = self.line_address(address)
+        cache_set = self._set_of(line)
+        if line in cache_set:
+            self.hits += 1
+            cache_set.move_to_end(line)
+            if is_store:
+                cache_set[line] = True
+            return AccessResult(hit=True)
+        self.misses += 1
+        evicted_dirty = None
+        if len(cache_set) >= self.assoc:
+            victim, dirty = cache_set.popitem(last=False)
+            if dirty:
+                evicted_dirty = victim
+        cache_set[line] = is_store
+        return AccessResult(hit=False, evicted_dirty_line=evicted_dirty)
+
+    def contains(self, address: int) -> bool:
+        """Non-mutating presence check (tests/diagnostics)."""
+        line = self.line_address(address)
+        return line in self._set_of(line)
+
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(s) for s in self._sets)
+
+    def flush(self) -> int:
+        """Drop all lines; returns how many dirty lines were discarded."""
+        dirty = sum(1 for s in self._sets for flag in s.values() if flag)
+        for cache_set in self._sets:
+            cache_set.clear()
+        return dirty

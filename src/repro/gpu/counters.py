@@ -1,0 +1,82 @@
+"""Simulation statistics counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class Counters:
+    """Everything the experiments measure, accumulated during simulation."""
+
+    instructions: int = 0
+    cycles: int = 0
+    warp_steps: int = 0
+
+    # Node-data traffic.
+    node_fetch_lines: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    dram_reads: int = 0
+    dram_writes: int = 0
+
+    # Traversal stack traffic.
+    stack_shared_loads: int = 0
+    stack_shared_stores: int = 0
+    stack_global_loads: int = 0
+    stack_global_stores: int = 0
+    bank_conflict_delay_cycles: int = 0
+    shared_transactions: int = 0
+
+    # Reallocation activity.
+    borrows: int = 0
+    flushes: int = 0
+    forced_flushes: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle (0 when nothing ran)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def offchip_accesses(self) -> int:
+        """DRAM transactions — the paper's Fig. 15b metric."""
+        return self.dram_reads + self.dram_writes
+
+    @property
+    def stack_global_ops(self) -> int:
+        """Stack spill/reload requests that target global memory."""
+        return self.stack_global_loads + self.stack_global_stores
+
+    @property
+    def stack_shared_ops(self) -> int:
+        """Stack requests that target shared memory."""
+        return self.stack_shared_loads + self.stack_shared_stores
+
+    @property
+    def l1_hit_rate(self) -> float:
+        """L1D hit rate over all accesses."""
+        total = self.l1_hits + self.l1_misses
+        return self.l1_hits / total if total else 0.0
+
+    def add(self, other: "Counters") -> None:
+        """Accumulate ``other`` into this counter set (cycles take max)."""
+        for spec in fields(self):
+            if spec.name == "cycles":
+                self.cycles = max(self.cycles, other.cycles)
+            else:
+                setattr(
+                    self, spec.name,
+                    getattr(self, spec.name) + getattr(other, spec.name),
+                )
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (for reports and serialization)."""
+        data = {spec.name: getattr(self, spec.name) for spec in fields(self)}
+        data["ipc"] = self.ipc
+        data["offchip_accesses"] = self.offchip_accesses
+        return data

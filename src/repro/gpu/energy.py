@@ -1,0 +1,114 @@
+"""Energy estimation for the traversal memory system.
+
+The paper motivates SMS with energy as much as performance: on-chip
+storage is "one of the most power-hungry components in modern GPUs"
+(citing AccelWattch/McPAT-style models [22], [26]), and off-chip traffic
+costs orders of magnitude more per access than SRAM.  This module applies
+per-event energies in that style to the simulator's counters, so
+configurations can be compared on energy as well as IPC.
+
+Per-access energies follow the usual technology ratios (values are
+editable on :class:`EnergyModel`): register-file/ray-buffer accesses are
+cheapest, shared memory and L1 a few times more, L2 an order of magnitude
+above that, and DRAM two orders above SRAM — which is why converting
+global-memory spill traffic into shared-memory traffic saves energy even
+before counting the performance effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.gpu.counters import Counters
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energies in picojoules (typical mobile-SoC ratios)."""
+
+    rb_access_pj: float = 1.0        # ray-buffer (register-class) access
+    shared_access_pj: float = 4.0    # one shared-memory transaction slot
+    l1_access_pj: float = 6.0
+    l2_access_pj: float = 30.0
+    dram_access_pj: float = 450.0    # per 32-byte sector
+    box_test_pj: float = 2.0
+    tri_test_pj: float = 6.0
+    static_pj_per_cycle: float = 0.5  # leakage/clock per SM
+
+
+@dataclass
+class EnergyReport:
+    """Energy breakdown of one simulation, in nanojoules."""
+
+    breakdown_nj: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_nj(self) -> float:
+        """Total energy."""
+        return sum(self.breakdown_nj.values())
+
+    @property
+    def stack_nj(self) -> float:
+        """Energy spent on traversal-stack traffic only."""
+        return (
+            self.breakdown_nj.get("stack_shared", 0.0)
+            + self.breakdown_nj.get("stack_global_dram", 0.0)
+        )
+
+    def summary(self) -> str:
+        """Aligned text breakdown."""
+        lines = []
+        for name, value in sorted(
+            self.breakdown_nj.items(), key=lambda kv: -kv[1]
+        ):
+            share = value / self.total_nj if self.total_nj else 0.0
+            lines.append(f"  {name:<18} {value:12.1f} nJ  ({share:5.1%})")
+        lines.append(f"  {'TOTAL':<18} {self.total_nj:12.1f} nJ")
+        return "\n".join(lines)
+
+
+def estimate_energy(
+    counters: Counters,
+    model: EnergyModel = EnergyModel(),
+    num_sms: int = 8,
+) -> EnergyReport:
+    """Apply the per-event energy model to a simulation's counters.
+
+    Instruction-side energy (node fetch L1/L2/DRAM events, intersection
+    tests) is identical across stack architectures for the same workload;
+    the configuration-dependent terms are the stack traffic entries and
+    the static energy (which scales with runtime).
+    """
+    report = EnergyReport()
+    b = report.breakdown_nj
+    # Node-data path: every L1 access, L2 access and DRAM transaction.
+    l1_accesses = counters.l1_hits + counters.l1_misses
+    l2_accesses = counters.l2_hits + counters.l2_misses
+    b["node_l1"] = l1_accesses * model.l1_access_pj / 1e3
+    b["node_l2"] = l2_accesses * model.l2_access_pj / 1e3
+    # DRAM covers node misses plus uncached spill traffic; splitting the
+    # stack share out makes the SMS comparison legible.
+    stack_dram = min(counters.stack_global_ops, counters.offchip_accesses)
+    node_dram = counters.offchip_accesses - stack_dram
+    b["node_dram"] = node_dram * model.dram_access_pj / 1e3
+    b["stack_global_dram"] = stack_dram * model.dram_access_pj / 1e3
+    b["stack_shared"] = counters.stack_shared_ops * model.shared_access_pj / 1e3
+    # Every traversal step reads/updates the RB stack.
+    b["rb_stack"] = counters.instructions * model.rb_access_pj / 1e3
+    # Intersection units: instructions count node visits plus tests; the
+    # box-test energy serves as the per-event proxy (triangle tests are a
+    # minority of events at default leaf sizes).
+    b["intersect"] = counters.instructions * model.box_test_pj / 1e3
+    b["static"] = counters.cycles * model.static_pj_per_cycle * num_sms / 1e3
+    return report
+
+
+def compare_energy(
+    reports: Dict[str, EnergyReport], baseline: str
+) -> Dict[str, float]:
+    """Total-energy ratios of each labelled report to ``baseline``."""
+    base = reports[baseline].total_nj
+    if base == 0:
+        return {label: 0.0 for label in reports}
+    return {label: report.total_nj / base for label, report in reports.items()}

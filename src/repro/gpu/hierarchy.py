@@ -1,0 +1,142 @@
+"""The global-memory path: L1D -> L2 -> DRAM.
+
+One instance per SM (private L1D) with the L2 and DRAM passed in shared.
+``access`` returns the completion time of a request issued at ``now`` and
+updates hit/miss counters; dirty evictions generate write-back traffic at
+the level below.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.cache import Cache
+from repro.gpu.config import GPUConfig
+from repro.gpu.counters import Counters
+from repro.gpu.dram import Dram
+
+
+class MemoryHierarchy:
+    """Timing and traffic model of one SM's view of global memory."""
+
+    #: Address region the shader-pollution stream walks through.
+    POLLUTION_BASE = 0x4000_0000
+    POLLUTION_SPAN = 64 * 1024 * 1024
+
+    def __init__(self, config: GPUConfig, l2: Cache, dram: Dram) -> None:
+        self.config = config
+        self.l1 = Cache(
+            size_bytes=config.l1d_bytes,
+            line_bytes=config.line_bytes,
+            assoc=None,  # fully associative, as in Table I
+            name="L1D",
+        )
+        self.l2 = l2
+        self.dram = dram
+        self._pollution_cursor = 0
+        self._l2_port_free = 0
+
+    def _l2_occupy(self, now: int, sectors: int = 4) -> int:
+        """Claim the (per-SM share of the) L2 port; returns service start."""
+        start = max(now, self._l2_port_free)
+        cycles = max(1, self.config.l2_service_cycles * sectors // 4)
+        self._l2_port_free = start + cycles
+        return start
+
+    def pollute(self, lines: int, now: int, counters: "Counters") -> None:
+        """Stream foreign (shader/texture) lines through the L1.
+
+        Models the sub-cores sharing the unified L1D with the RT unit
+        (paper III-B): the traffic itself is not on the RT unit's critical
+        path, but it evicts node data and spilled stack entries.  Evicted
+        dirty lines (spilled stack entries) still write back — that is
+        real RT-unit-caused traffic.
+        """
+        line_bytes = self.config.line_bytes
+        for _ in range(lines):
+            address = self.POLLUTION_BASE + self._pollution_cursor
+            self._pollution_cursor = (
+                self._pollution_cursor + line_bytes
+            ) % self.POLLUTION_SPAN
+            result = self.l1.access(address, is_store=False)
+            if result.evicted_dirty_line is not None:
+                self._writeback_to_l2(result.evicted_dirty_line, now, counters)
+
+    def lines_of(self, address: int, size_bytes: int) -> List[int]:
+        """Line addresses an access of ``size_bytes`` at ``address`` touches."""
+        line = self.config.line_bytes
+        first = address - (address % line)
+        last = (address + max(size_bytes, 1) - 1) // line * line
+        return list(range(first, last + line, line))
+
+    def access_line(
+        self,
+        line_addr: int,
+        now: int,
+        is_store: bool,
+        counters: Counters,
+        policy: str = "l1",
+    ) -> int:
+        """One line-granular access; returns its completion time.
+
+        ``policy`` selects cacheability: ``"l1"`` (normal), ``"l2"``
+        (bypass L1) or ``"uncached"`` (straight to DRAM) — the latter two
+        model thread-local stack spill traffic, see
+        ``GPUConfig.spill_cache_policy``.
+        """
+        config = self.config
+        if policy == "uncached":
+            # An uncoalesced 8-byte spill occupies one 32-byte sector of
+            # L2-port and DRAM bandwidth, not a whole line.
+            start = self._l2_occupy(now, sectors=1)
+            base = start + config.l1_latency + config.l2_latency
+            if is_store:
+                self.dram.write(start, sectors=1)
+                counters.dram_writes += 1
+                return base
+            done = self.dram.read(base, sectors=1)
+            counters.dram_reads += 1
+            return done
+        if policy == "l2":
+            start = self._l2_occupy(now, sectors=1)
+            l2_result = self.l2.access(line_addr, is_store=is_store)
+            if l2_result.evicted_dirty_line is not None:
+                self.dram.write(start)
+                counters.dram_writes += 1
+            if l2_result.hit:
+                counters.l2_hits += 1
+                return start + config.l1_latency + config.l2_latency
+            counters.l2_misses += 1
+            if is_store:
+                return start + config.l1_latency + config.l2_latency
+            done = self.dram.read(start + config.l1_latency + config.l2_latency)
+            counters.dram_reads += 1
+            return done
+
+        result = self.l1.access(line_addr, is_store=is_store)
+        if result.evicted_dirty_line is not None:
+            self._writeback_to_l2(result.evicted_dirty_line, now, counters)
+        if result.hit:
+            counters.l1_hits += 1
+            return now + config.l1_latency
+        counters.l1_misses += 1
+
+        start = self._l2_occupy(now, sectors=4)
+        l2_result = self.l2.access(line_addr, is_store=False)
+        if l2_result.evicted_dirty_line is not None:
+            self.dram.write(start)
+            counters.dram_writes += 1
+        if l2_result.hit:
+            counters.l2_hits += 1
+            return start + config.l1_latency + config.l2_latency
+        counters.l2_misses += 1
+        done = self.dram.read(start + config.l1_latency + config.l2_latency)
+        counters.dram_reads += 1
+        return done
+
+    def _writeback_to_l2(self, line_addr: int, now: int, counters: Counters) -> None:
+        """Install an evicted dirty L1 line into L2 (write-back path)."""
+        result = self.l2.access(line_addr, is_store=True)
+        if result.evicted_dirty_line is not None:
+            self.dram.write(now)
+            counters.dram_writes += 1

@@ -1,0 +1,320 @@
+"""The RT unit: warp buffer, stack manager, memory scheduler, op units.
+
+Executes warps transactionally: one *traversal iteration* per scheduled
+warp performs (1) node fetch for every active lane through the L1/L2/DRAM
+hierarchy, (2) intersection tests in the box/triangle units, (3) the stack
+update, replaying each lane's pushes/pops through the configured stack
+model and pricing the resulting shared/global request chains position by
+position (chains are sequential per lane, parallel across lanes — paper
+section VI-A).
+
+Scheduling is greedy-then-oldest across up to ``max_warps_per_rt_unit``
+resident warps: the unit's issue stages serialize (``pipeline_free``),
+while memory waits overlap across warps — which is exactly the latency
+hiding that makes *bandwidth*, not raw latency, the cost of spill traffic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.gpu.config import GPUConfig
+from repro.gpu.counters import Counters
+from repro.gpu.hierarchy import MemoryHierarchy
+from repro.gpu.sharedmem import SharedMemorySim
+from repro.gpu.warp import Warp
+from repro.stack.base import StackModel
+from repro.stack.factory import make_stack_model
+from repro.stack.ops import MemSpace, OpKind, StackActivity
+from repro.stack.sms import SmsStack
+from repro.trace.events import NodeKind
+
+
+class RTUnit:
+    """One SM's ray-tracing acceleration unit."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        hierarchy: MemoryHierarchy,
+        counters: Counters,
+        sm_id: int = 0,
+        verify_pops: bool = True,
+    ) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        self.counters = counters
+        self.sm_id = sm_id
+        self.verify_pops = verify_pops
+        self.sharedmem = SharedMemorySim(config)
+        if config.inter_warp_realloc and config.rb_stack_entries is not None:
+            # One shared stack model spans every warp slot of the unit so
+            # lanes can borrow SH regions across warps (the design the
+            # paper rejects; see repro.stack.interwarp).
+            from repro.stack.interwarp import InterWarpSmsStack, SlotView
+
+            self._shared_stack = InterWarpSmsStack(
+                rb_entries=config.rb_stack_entries,
+                sh_entries=config.sh_stack_entries,
+                slots=config.max_warps_per_rt_unit,
+                lanes_per_warp=config.warp_size,
+                skewed=config.skewed_bank_access,
+                max_borrows=config.max_borrows,
+                max_flushes=config.max_flushes,
+                unit_index=sm_id,
+            )
+            self._stacks: List[StackModel] = [
+                SlotView(self._shared_stack, slot)
+                for slot in range(config.max_warps_per_rt_unit)
+            ]
+        else:
+            self._shared_stack = None
+            self._stacks = [
+                make_stack_model(
+                    config,
+                    warp_index=sm_id * config.max_warps_per_rt_unit + slot,
+                )
+                for slot in range(config.max_warps_per_rt_unit)
+            ]
+
+    # ------------------------------------------------------------------
+    # top-level run loop
+    # ------------------------------------------------------------------
+
+    def run(self, warps: Sequence[Warp]) -> int:
+        """Execute all warps; returns the completion cycle."""
+        pending: Deque[Warp] = deque(warps)
+        resident: List[Tuple[Warp, int]] = []  # (warp, slot)
+        free_slots = list(range(self.config.max_warps_per_rt_unit))
+        completion = 0
+        pipeline_free = 0
+        greedy_warp_id: Optional[int] = None
+
+        def admit(now: int) -> None:
+            while pending and free_slots:
+                slot = free_slots.pop(0)
+                warp = pending.popleft()
+                self._stacks[slot].reset()
+                warp.ready_time = now
+                resident.append((warp, slot))
+
+        admit(0)
+        while resident:
+            warp, slot = self._pick_warp(resident, greedy_warp_id)
+            greedy_warp_id = warp.warp_id
+            start = max(warp.ready_time, pipeline_free)
+            end, issue_cycles = self._execute_iteration(warp, self._stacks[slot], start)
+            pipeline_free = start + issue_cycles
+            warp.ready_time = end
+            completion = max(completion, end)
+            if warp.done:
+                resident.remove((warp, slot))
+                free_slots.append(slot)
+                admit(end)
+        return completion
+
+    def _pick_warp(
+        self, resident: List[Tuple[Warp, int]], greedy_warp_id: Optional[int]
+    ) -> Tuple[Warp, int]:
+        """GTO: stick with the greedy warp when it is as ready as any."""
+        best = min(resident, key=lambda pair: pair[0].ready_time)
+        min_ready = best[0].ready_time
+        if greedy_warp_id is not None:
+            for warp, slot in resident:
+                if warp.warp_id == greedy_warp_id and warp.ready_time <= min_ready:
+                    return warp, slot
+        # Oldest (lowest id) among the most-ready.
+        candidates = [p for p in resident if p[0].ready_time == min_ready]
+        return min(candidates, key=lambda pair: pair[0].warp_id)
+
+    # ------------------------------------------------------------------
+    # one traversal iteration of one warp
+    # ------------------------------------------------------------------
+
+    def _execute_iteration(
+        self, warp: Warp, stack: StackModel, start: int
+    ) -> Tuple[int, int]:
+        """Run one lockstep step; returns (end_time, pipeline_issue_cycles)."""
+        config = self.config
+        counters = self.counters
+        active = warp.active_lanes()
+        if not active:
+            raise SimulationError("scheduled a warp with no active lanes")
+
+        # Phase 1: node fetch.  The memory scheduler coalesces the active
+        # lanes' node reads into unique cache lines, issuing one per cycle.
+        lines: Dict[int, None] = {}
+        max_box_tests = 0
+        max_tri_tests = 0
+        for lane in active:
+            step = warp.current_step(lane)
+            for line in self.hierarchy.lines_of(step.address, step.size_bytes):
+                lines[line] = None
+            if step.kind is NodeKind.INTERNAL:
+                max_box_tests = max(max_box_tests, step.tests)
+            else:
+                max_tri_tests = max(max_tri_tests, step.tests)
+        fetch_done = start
+        port = config.l1_port_cycles
+        for i, line in enumerate(lines):
+            done = self.hierarchy.access_line(
+                line, start + i * port, is_store=False, counters=counters
+            )
+            fetch_done = max(fetch_done, done)
+        counters.node_fetch_lines += len(lines)
+        fetch_port_cycles = len(lines) * port
+        # Concurrent shading/texture traffic from the SM's sub-cores
+        # streams through the shared L1D (see GPUConfig.shader_pollution_lines).
+        self.hierarchy.pollute(config.shader_pollution_lines, start, counters)
+
+        # Phase 2: intersection tests in the RT unit's operation units.
+        intersect_cycles = (
+            max_box_tests * config.box_test_cycles
+            + max_tri_tests * config.tri_test_cycles
+        )
+        t = fetch_done + intersect_cycles
+
+        # Phase 3: stack update.  Replay pushes/pops, then price the chains.
+        #
+        # The stack manager is its own unit (paper Fig. 11): its request
+        # chains run concurrently with the warp's next node fetch.  The
+        # popped next-node address is always already in the RB stack, so
+        # the warp only stalls on the manager when the *next* iteration's
+        # stack phase arrives before the previous chain finished
+        # (warp.stack_free), which is exactly what happens when every
+        # iteration overflows.
+        chains: List[StackActivity] = []
+        for lane in active:
+            step = warp.current_step(lane)
+            activity = StackActivity()
+            for address in step.pushes:
+                activity = activity.merge(stack.push(lane, address))
+            if step.popped:
+                value, pop_activity = stack.pop(lane)
+                activity = activity.merge(pop_activity)
+                if self.verify_pops:
+                    self._verify_pop(warp, lane, value)
+            chains.append(activity)
+            counters.instructions += 1 + step.tests
+        stack_start = max(t, warp.stack_free)
+        stack_end, stack_port_cycles = self._price_stack_chains(chains, stack_start)
+        warp.stack_free = stack_end
+        # The warp itself is ready once compute and the stack-issue slots
+        # clear; the chain's memory latency overlaps the next iteration.
+        t = max(t, stack_start + stack_port_cycles)
+
+        # Advance cursors; lanes that drain their traces retire and (under
+        # SMS reallocation) free their SH stacks for borrowing.
+        for lane in active:
+            warp.advance(lane)
+            if not warp.lane_active(lane):
+                stack.finish(lane)
+
+        self._harvest_stack_stats(stack)
+        counters.warp_steps += 1
+        issue_cycles = fetch_port_cycles + intersect_cycles + stack_port_cycles
+        return t, issue_cycles
+
+    def _verify_pop(self, warp: Warp, lane: int, value: int) -> None:
+        """A popped entry must be the node the ray visits next."""
+        cursor = warp.cursors[lane]
+        trace = warp.traces[lane]
+        if cursor + 1 >= len(trace.steps):
+            raise SimulationError(
+                f"ray {trace.ray_id} popped at its final step"
+            )
+        expected = trace.steps[cursor + 1].address
+        if value != expected:
+            raise SimulationError(
+                f"ray {trace.ray_id}: popped {value:#x}, expected {expected:#x} "
+                f"— stack model corrupted LIFO order"
+            )
+
+    def _price_stack_chains(
+        self, chains: List[StackActivity], t: int
+    ) -> Tuple[int, int]:
+        """Cost the per-lane op chains position by position.
+
+        Per the paper, a lane's chain is strictly sequential; across lanes
+        the memory scheduler runs position ``p`` of every chain together:
+        shared ops become one banked transaction (serialized only by bank
+        conflicts), while global ops target thread-specific spill addresses
+        that never coalesce — each is a separate L1 transaction occupying
+        the memory port.  Stores complete asynchronously (store buffer);
+        loads block the chain.
+
+        Returns ``(end_time, port_cycles)`` where ``port_cycles`` is the
+        pipeline occupancy this stack phase adds (not hidden by other
+        warps).
+        """
+        counters = self.counters
+        config = self.config
+        port_cycles = 0
+        max_len = max((len(c.ops) for c in chains), default=0)
+        for position in range(max_len):
+            shared_ops = []
+            global_ops = []
+            for chain in chains:
+                if position < len(chain.ops):
+                    op = chain.ops[position]
+                    if op.space is MemSpace.SHARED:
+                        shared_ops.append(op)
+                        if op.kind is OpKind.LOAD:
+                            counters.stack_shared_loads += 1
+                        else:
+                            counters.stack_shared_stores += 1
+                    else:
+                        global_ops.append(op)
+                        if op.kind is OpKind.LOAD:
+                            counters.stack_global_loads += 1
+                        else:
+                            counters.stack_global_stores += 1
+            shared_cost = 0
+            if shared_ops:
+                shared_cost = self.sharedmem.transaction_cycles(shared_ops, counters)
+                # Port occupancy: one slot per conflict replay (the cost
+                # above the base latency) plus the base transaction slot.
+                port_cycles += (
+                    shared_cost - config.shared_latency + config.shared_port_cycles
+                )
+            global_cost = 0
+            port = config.l1_port_cycles
+            policy = config.spill_cache_policy
+            for i, op in enumerate(global_ops):
+                is_store = op.kind is OpKind.STORE
+                done = t
+                for line in self.hierarchy.lines_of(op.address, op.size_bytes):
+                    done = max(
+                        done,
+                        self.hierarchy.access_line(
+                            line,
+                            t + i * port,
+                            is_store=is_store,
+                            counters=counters,
+                            policy=policy,
+                        ),
+                    )
+                if is_store:
+                    # Store buffer: port occupancy only, no completion wait.
+                    global_cost = max(global_cost, (i + 1) * port)
+                else:
+                    global_cost = max(global_cost, done - t)
+            port_cycles += len(global_ops) * port
+            t += max(shared_cost, global_cost)
+        extra = max((c.extra_cycles for c in chains), default=0)
+        return t + extra, port_cycles + extra
+
+    def _harvest_stack_stats(self, stack) -> None:
+        """Fold reallocation statistics into the counter set."""
+        if not isinstance(stack, SmsStack):
+            stack = getattr(stack, "shared", None)  # SlotView -> shared model
+        if isinstance(stack, SmsStack):
+            counters = self.counters
+            counters.borrows += stack.borrow_count
+            counters.flushes += stack.flush_count
+            counters.forced_flushes += stack.forced_flush_count
+            stack.borrow_count = 0
+            stack.flush_count = 0
+            stack.forced_flush_count = 0

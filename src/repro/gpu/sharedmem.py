@@ -1,0 +1,63 @@
+"""Banked shared memory with conflict serialization (paper section V-A).
+
+Shared memory has 32 banks of 4-byte words.  A warp-wide access completes
+in one transaction when every lane touches a different bank (or the same
+word); lanes hitting *different words in the same bank* serialize.  The
+cost of a warp access is therefore
+
+    latency + (degree - 1) * conflict_penalty
+
+where ``degree`` is the worst per-bank count of distinct words.  The
+accumulated ``(degree - 1) * penalty`` term is the "delay cycles due to
+bank conflicts" the paper plots in Fig. 14.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.counters import Counters
+from repro.stack.layout import BANK_COUNT, bank_of_word, words_of_access
+from repro.stack.ops import MemoryOp
+
+
+class SharedMemorySim:
+    """Prices warp-level shared-memory transactions."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.config = config
+
+    def conflict_degree(self, ops: Iterable[MemoryOp]) -> int:
+        """Worst-case serialization degree of one warp-wide access."""
+        words_per_bank: Dict[int, Set[int]] = defaultdict(set)
+        any_op = False
+        for op in ops:
+            any_op = True
+            for word in words_of_access(op.address, op.size_bytes):
+                words_per_bank[bank_of_word(word)].add(word)
+        if not any_op:
+            return 0
+        return max(len(words) for words in words_per_bank.values())
+
+    def transaction_cycles(
+        self, ops: Iterable[MemoryOp], counters: Counters
+    ) -> int:
+        """Cycles for one warp-wide shared access; updates counters."""
+        ops = list(ops)
+        if not ops:
+            return 0
+        degree = self.conflict_degree(ops)
+        delay = (degree - 1) * self.config.bank_conflict_penalty
+        counters.bank_conflict_delay_cycles += delay
+        counters.shared_transactions += 1
+        return self.config.shared_latency + delay
+
+    def bank_histogram(self, ops: Iterable[MemoryOp]) -> Tuple[int, ...]:
+        """Distinct-word count per bank (diagnostics / Fig. 9 analysis)."""
+        words_per_bank: Dict[int, Set[int]] = defaultdict(set)
+        for op in ops:
+            for word in words_of_access(op.address, op.size_bytes):
+                words_per_bank[bank_of_word(word)].add(word)
+        return tuple(len(words_per_bank.get(b, ())) for b in range(BANK_COUNT))

@@ -1,0 +1,87 @@
+"""Whole-GPU simulation: workload -> warps -> SMs -> counters.
+
+Warps are distributed round-robin over the SMs.  Each SM owns a private
+L1D and RT unit; all SMs share the L2 and DRAM objects.  SMs execute
+sequentially against the shared lower hierarchy — a deliberate
+simplification (documented in DESIGN.md): per-SM timelines are
+independent, capacity sharing in L2/DRAM bandwidth pressure is retained,
+fine-grained cross-SM interleaving is not.  Total cycles are the slowest
+SM's completion time, matching how the paper reports whole-frame IPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.counters import Counters
+from repro.gpu.cache import Cache
+from repro.gpu.dram import Dram
+from repro.gpu.hierarchy import MemoryHierarchy
+from repro.gpu.rt_unit import RTUnit
+from repro.gpu.warp import Warp, pack_warps
+from repro.trace.events import RayTrace
+
+
+@dataclass
+class SimOutput:
+    """Result of one timing simulation."""
+
+    config: GPUConfig
+    counters: Counters
+    per_sm_cycles: List[int] = field(default_factory=list)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle for the whole run."""
+        return self.counters.ipc
+
+    @property
+    def cycles(self) -> int:
+        """Total cycles (slowest SM)."""
+        return self.counters.cycles
+
+    @property
+    def offchip_accesses(self) -> int:
+        """DRAM transactions."""
+        return self.counters.offchip_accesses
+
+
+class GPUSimulator:
+    """Times a traced workload under a given configuration."""
+
+    def __init__(self, config: Optional[GPUConfig] = None, verify_pops: bool = True) -> None:
+        self.config = config or GPUConfig()
+        self.verify_pops = verify_pops
+
+    def run_traces(self, traces: Sequence[RayTrace]) -> SimOutput:
+        """Simulate a flat list of ray traces (wave order preserved)."""
+        config = self.config
+        warps = pack_warps(traces, warp_size=config.warp_size)
+        counters = Counters()
+        l2 = Cache(
+            size_bytes=config.l2_bytes,
+            line_bytes=config.line_bytes,
+            assoc=config.l2_assoc,
+            name="L2",
+        )
+        per_sm_cycles: List[int] = []
+        # Round-robin warp distribution across SMs.
+        for sm_id in range(config.num_sms):
+            sm_warps = [w for i, w in enumerate(warps) if i % config.num_sms == sm_id]
+            if not sm_warps:
+                per_sm_cycles.append(0)
+                continue
+            dram = Dram(
+                latency=config.dram_latency,
+                service_cycles=config.dram_service_cycles * config.num_sms,
+            )
+            hierarchy = MemoryHierarchy(config, l2=l2, dram=dram)
+            rt_unit = RTUnit(
+                config, hierarchy, counters, sm_id=sm_id, verify_pops=self.verify_pops
+            )
+            cycles = rt_unit.run(sm_warps)
+            per_sm_cycles.append(cycles)
+        counters.cycles = max(per_sm_cycles) if per_sm_cycles else 0
+        return SimOutput(config=config, counters=counters, per_sm_cycles=per_sm_cycles)

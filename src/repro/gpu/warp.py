@@ -1,0 +1,84 @@
+"""Warp state: up to 32 ray traces advancing in lockstep.
+
+The RT unit processes a warp one *traversal iteration* at a time: every
+active lane executes its next trace step together (node fetch, intersection
+tests, stack update), mirroring how the paper's RT unit collects requests
+"across all 32 threads" of the scheduled warp.  Lanes whose traces are
+exhausted go inactive (their rays completed) and — under SMS reallocation —
+donate their SH stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.trace.events import RayTrace, Step
+
+
+@dataclass
+class Warp:
+    """One warp's worth of traces plus per-lane progress cursors."""
+
+    warp_id: int
+    traces: List[Optional[RayTrace]]
+    cursors: List[int] = field(default_factory=list)
+    ready_time: int = 0
+    #: When this warp's stack-manager chain from the previous iteration
+    #: completes; the next iteration's stack phase serializes on it.
+    stack_free: int = 0
+    entered: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.cursors:
+            self.cursors = [0] * len(self.traces)
+
+    @property
+    def lane_count(self) -> int:
+        """Number of lanes (including inactive padding)."""
+        return len(self.traces)
+
+    def lane_active(self, lane: int) -> bool:
+        """True while the lane still has trace steps to execute."""
+        trace = self.traces[lane]
+        return trace is not None and self.cursors[lane] < len(trace.steps)
+
+    def active_lanes(self) -> List[int]:
+        """Lanes with work remaining."""
+        return [lane for lane in range(self.lane_count) if self.lane_active(lane)]
+
+    def current_step(self, lane: int) -> Step:
+        """The step the lane executes this iteration."""
+        return self.traces[lane].steps[self.cursors[lane]]
+
+    def advance(self, lane: int) -> None:
+        """Move the lane to its next step."""
+        self.cursors[lane] += 1
+
+    @property
+    def done(self) -> bool:
+        """True when every lane has drained its trace."""
+        return not self.active_lanes()
+
+    @property
+    def total_steps(self) -> int:
+        """Total trace steps across lanes."""
+        return sum(len(t.steps) for t in self.traces if t is not None)
+
+
+def pack_warps(
+    traces: Sequence[RayTrace], warp_size: int = 32
+) -> List[Warp]:
+    """Pack traces into warps in order, padding the final partial warp.
+
+    Order matters: the workload generator emits waves (primaries, then
+    shadow/bounce waves), so consecutive rays — and therefore warps — have
+    the coherence structure of a real wavefront path tracer.
+    """
+    warps: List[Warp] = []
+    for start in range(0, len(traces), warp_size):
+        group: List[Optional[RayTrace]] = list(traces[start : start + warp_size])
+        while len(group) < warp_size:
+            group.append(None)
+        warps.append(Warp(warp_id=len(warps), traces=group))
+    return warps

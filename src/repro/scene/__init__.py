@@ -1,0 +1,31 @@
+"""Scene containers, cameras and procedural mesh generators.
+
+A :class:`Scene` is a bag of triangles plus a name; the BVH layer builds an
+acceleration structure over it and the trace layer shoots rays through it.
+The generators produce the structural variety needed to stand in for the
+Lumibench assets used by the paper (see ``repro.workloads``).
+"""
+
+from repro.scene.scene import Scene
+from repro.scene.camera import PinholeCamera
+from repro.scene.generators import (
+    grid_mesh,
+    box_mesh,
+    blob_mesh,
+    scatter_mesh,
+    sliver_mesh,
+    canopy_mesh,
+    merge_meshes,
+)
+
+__all__ = [
+    "Scene",
+    "PinholeCamera",
+    "grid_mesh",
+    "box_mesh",
+    "blob_mesh",
+    "scatter_mesh",
+    "sliver_mesh",
+    "canopy_mesh",
+    "merge_meshes",
+]

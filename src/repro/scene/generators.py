@@ -1,0 +1,230 @@
+"""Procedural mesh generators.
+
+The paper evaluates on Lumibench assets we cannot redistribute; these
+generators produce synthetic meshes whose *structure* (clustering, aspect
+ratio, depth complexity) spans the same range, so BVHs built over them
+exercise the same traversal behaviours: shallow/wide for architectural
+boxes, deep/cluttered for scattered foliage, degenerate-thin for SHIP-like
+slivers.  Every generator is deterministic given its ``seed``.
+
+All generators return a ``(n, 3, 3)`` float64 vertex array consumable by
+:class:`repro.scene.Scene`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SceneError
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def grid_mesh(
+    nx: int,
+    nz: int,
+    size: float = 10.0,
+    height_amplitude: float = 0.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """A terrain-style triangulated heightfield on the XZ plane.
+
+    ``nx x nz`` quads, each split into two triangles.  With a non-zero
+    ``height_amplitude`` the vertices get a deterministic pseudo-random
+    Y displacement, yielding rolling-terrain geometry (LANDS/PARK style).
+    """
+    if nx <= 0 or nz <= 0:
+        raise SceneError("grid_mesh needs at least one quad per axis")
+    rng = _rng(seed)
+    xs = np.linspace(-size / 2, size / 2, nx + 1)
+    zs = np.linspace(-size / 2, size / 2, nz + 1)
+    heights = (
+        rng.uniform(-height_amplitude, height_amplitude, size=(nx + 1, nz + 1))
+        if height_amplitude > 0.0
+        else np.zeros((nx + 1, nz + 1))
+    )
+    tris = []
+    for i in range(nx):
+        for j in range(nz):
+            p00 = (xs[i], heights[i, j], zs[j])
+            p10 = (xs[i + 1], heights[i + 1, j], zs[j])
+            p01 = (xs[i], heights[i, j + 1], zs[j + 1])
+            p11 = (xs[i + 1], heights[i + 1, j + 1], zs[j + 1])
+            tris.append((p00, p10, p11))
+            tris.append((p00, p11, p01))
+    return np.asarray(tris, dtype=np.float64)
+
+
+def box_mesh(
+    center: Sequence[float],
+    extent: Sequence[float],
+) -> np.ndarray:
+    """The 12 triangles of an axis-aligned box (architectural geometry)."""
+    cx, cy, cz = center
+    ex, ey, ez = (e / 2.0 for e in extent)
+    if min(abs(ex), abs(ey), abs(ez)) <= 0.0:
+        raise SceneError("box_mesh extents must be positive")
+    # The 8 corners, bit i of the index selecting hi/lo per axis.
+    corners = np.array(
+        [
+            [cx + (1 if i & 1 else -1) * ex,
+             cy + (1 if i & 2 else -1) * ey,
+             cz + (1 if i & 4 else -1) * ez]
+            for i in range(8)
+        ]
+    )
+    quads = [
+        (0, 1, 3, 2), (4, 6, 7, 5),  # -z, +z faces
+        (0, 4, 5, 1), (2, 3, 7, 6),  # -y, +y faces
+        (0, 2, 6, 4), (1, 5, 7, 3),  # -x, +x faces
+    ]
+    tris = []
+    for a, b, c, d in quads:
+        tris.append((corners[a], corners[b], corners[c]))
+        tris.append((corners[a], corners[c], corners[d]))
+    return np.asarray(tris, dtype=np.float64)
+
+
+def blob_mesh(
+    center: Sequence[float],
+    radius: float,
+    subdivisions: int = 2,
+    bumpiness: float = 0.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """A tessellated sphere with optional radial noise (organic shapes).
+
+    Starts from an octahedron and subdivides each face ``subdivisions``
+    times, then pushes vertices radially by up to ``bumpiness * radius``.
+    """
+    if radius <= 0:
+        raise SceneError("blob_mesh radius must be positive")
+    rng = _rng(seed)
+    verts = np.array(
+        [[1, 0, 0], [-1, 0, 0], [0, 1, 0], [0, -1, 0], [0, 0, 1], [0, 0, -1]],
+        dtype=np.float64,
+    )
+    faces = [
+        (0, 2, 4), (2, 1, 4), (1, 3, 4), (3, 0, 4),
+        (2, 0, 5), (1, 2, 5), (3, 1, 5), (0, 3, 5),
+    ]
+    tris = [tuple(verts[i] for i in face) for face in faces]
+    for _ in range(subdivisions):
+        finer = []
+        for a, b, c in tris:
+            ab, bc, ca = (a + b) / 2, (b + c) / 2, (c + a) / 2
+            finer.extend([(a, ab, ca), (ab, b, bc), (ca, bc, c), (ab, bc, ca)])
+        tris = finer
+    arr = np.asarray(tris, dtype=np.float64)
+    flat = arr.reshape(-1, 3)
+    norms = np.linalg.norm(flat, axis=1, keepdims=True)
+    flat = flat / norms
+    if bumpiness > 0.0:
+        # Hash-keyed noise so shared vertices displace identically.
+        keys = np.round(flat * 1e6).astype(np.int64)
+        hashes = (keys[:, 0] * 73856093) ^ (keys[:, 1] * 19349663) ^ (keys[:, 2] * 83492791)
+        noise_table = rng.uniform(1.0 - bumpiness, 1.0 + bumpiness, size=4096)
+        flat = flat * noise_table[np.abs(hashes) % 4096][:, None]
+    arr = flat.reshape(-1, 3, 3) * radius + np.asarray(center, dtype=np.float64)
+    return arr
+
+
+def scatter_mesh(
+    count: int,
+    bounds_size: float = 10.0,
+    triangle_size: float = 0.2,
+    clusters: int = 1,
+    seed: int = 0,
+) -> np.ndarray:
+    """``count`` small random triangles scattered in a cube.
+
+    ``clusters > 1`` groups triangles around cluster centers (foliage /
+    carnival clutter); ``clusters == 1`` spreads them uniformly.  Clutter
+    like this makes BVH leaves overlap and drives the deep, divergent
+    traversals the paper measures.
+    """
+    if count <= 0:
+        raise SceneError("scatter_mesh count must be positive")
+    rng = _rng(seed)
+    if clusters > 1:
+        centers = rng.uniform(-bounds_size / 2, bounds_size / 2, size=(clusters, 3))
+        which = rng.integers(0, clusters, size=count)
+        anchors = centers[which] + rng.normal(0, bounds_size / 20, size=(count, 3))
+    else:
+        anchors = rng.uniform(-bounds_size / 2, bounds_size / 2, size=(count, 3))
+    offsets = rng.normal(0, triangle_size, size=(count, 3, 3))
+    return anchors[:, None, :] + offsets
+
+
+def sliver_mesh(
+    count: int,
+    length: float = 8.0,
+    thickness: float = 0.02,
+    bounds_size: float = 10.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Long, thin triangles (rigging/mast geometry as in the SHIP scene).
+
+    Slivers produce large, mostly-empty AABBs, so rays hit many leaf
+    bounds without hitting primitives — the high leaf-access ratio the
+    paper calls out for SHIP.
+    """
+    if count <= 0:
+        raise SceneError("sliver_mesh count must be positive")
+    rng = _rng(seed)
+    starts = rng.uniform(-bounds_size / 2, bounds_size / 2, size=(count, 3))
+    directions = rng.normal(size=(count, 3))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    ends = starts + directions * length
+    side = rng.normal(size=(count, 3))
+    side -= directions * np.sum(side * directions, axis=1, keepdims=True)
+    side /= np.linalg.norm(side, axis=1, keepdims=True)
+    third = ends + side * thickness
+    return np.stack([starts, ends, third], axis=1)
+
+
+def canopy_mesh(
+    trunk_count: int,
+    leaves_per_trunk: int,
+    bounds_size: float = 20.0,
+    leaf_size: float = 0.15,
+    crown_size: float = 2.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Forest-style geometry: vertical trunks plus leaf clusters above them.
+
+    ``leaf_size`` controls leaf-triangle overlap within each crown, the
+    main knob for traversal depth in foliage scenes.
+    """
+    if trunk_count <= 0 or leaves_per_trunk <= 0:
+        raise SceneError("canopy_mesh counts must be positive")
+    rng = _rng(seed)
+    parts = []
+    for t in range(trunk_count):
+        base = rng.uniform(-bounds_size / 2, bounds_size / 2, size=3)
+        base[1] = 0.0
+        height = rng.uniform(2.0, 5.0)
+        parts.append(
+            sliver_mesh(2, length=height, thickness=0.1, bounds_size=0.1,
+                        seed=seed * 1009 + t)
+            + base
+        )
+        crown = base + np.array([0.0, height, 0.0])
+        parts.append(
+            scatter_mesh(leaves_per_trunk, bounds_size=crown_size,
+                         triangle_size=leaf_size, seed=seed * 2003 + t)
+            + crown
+        )
+    return merge_meshes(parts)
+
+
+def merge_meshes(meshes: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate vertex arrays into one mesh."""
+    nonempty = [np.asarray(m, dtype=np.float64) for m in meshes if len(m)]
+    if not nonempty:
+        return np.zeros((0, 3, 3))
+    return np.concatenate(nonempty, axis=0)

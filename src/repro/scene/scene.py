@@ -1,0 +1,96 @@
+"""Scene container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SceneError
+from repro.geometry.aabb import AABB, union
+from repro.geometry.triangle import Triangle, triangle_aabb
+
+
+@dataclass
+class Scene:
+    """A named collection of triangles.
+
+    Triangles are stored as a ``(n, 3, 3)`` vertex array; :meth:`triangle`
+    materializes individual :class:`Triangle` objects on demand so the hot
+    batched paths never box primitives.
+    """
+
+    name: str
+    vertices: np.ndarray  # (n, 3, 3): triangle, vertex, component
+    light_position: Optional[np.ndarray] = None
+    _bounds: Optional[AABB] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.vertices = np.asarray(self.vertices, dtype=np.float64)
+        if self.vertices.ndim != 3 or self.vertices.shape[1:] != (3, 3):
+            raise SceneError(
+                f"scene vertex array must have shape (n, 3, 3), "
+                f"got {self.vertices.shape}"
+            )
+        if self.light_position is None:
+            # Default light: well above the scene center.
+            bounds = self.bounds()
+            if bounds.is_empty():
+                self.light_position = np.array([0.0, 10.0, 0.0])
+            else:
+                ext = bounds.extent()
+                self.light_position = bounds.centroid() + np.array(
+                    [0.0, 2.0 * max(float(ext[1]), 1.0), 0.0]
+                )
+
+    @staticmethod
+    def from_triangles(name: str, triangles: List[Triangle]) -> "Scene":
+        """Build a scene from boxed triangles (re-numbers prim ids)."""
+        if triangles:
+            verts = np.stack([tri.vertices() for tri in triangles])
+        else:
+            verts = np.zeros((0, 3, 3))
+        return Scene(name=name, vertices=verts)
+
+    @property
+    def triangle_count(self) -> int:
+        """Number of triangles in the scene."""
+        return int(self.vertices.shape[0])
+
+    def triangle(self, prim_id: int) -> Triangle:
+        """Materialize triangle ``prim_id``."""
+        if not 0 <= prim_id < self.triangle_count:
+            raise SceneError(
+                f"prim_id {prim_id} out of range [0, {self.triangle_count})"
+            )
+        tri = self.vertices[prim_id]
+        return Triangle(a=tri[0], b=tri[1], c=tri[2], prim_id=prim_id)
+
+    def triangles(self) -> List[Triangle]:
+        """Materialize every triangle (test/diagnostic use)."""
+        return [self.triangle(i) for i in range(self.triangle_count)]
+
+    def bounds(self) -> AABB:
+        """Bounding box over the whole scene (cached)."""
+        if self._bounds is None:
+            box = AABB.empty()
+            if self.triangle_count:
+                lo = self.vertices.reshape(-1, 3).min(axis=0)
+                hi = self.vertices.reshape(-1, 3).max(axis=0)
+                box = AABB(lo=lo, hi=hi)
+            self._bounds = box
+        return self._bounds
+
+    def centroids(self) -> np.ndarray:
+        """``(n, 3)`` array of triangle centroids."""
+        return self.vertices.mean(axis=1)
+
+    def triangle_bounds(self, prim_id: int) -> AABB:
+        """Bounding box of one triangle."""
+        return triangle_aabb(self.triangle(prim_id))
+
+    def validate(self) -> None:
+        """Raise :class:`SceneError` if any triangle is non-finite."""
+        if not np.all(np.isfinite(self.vertices)):
+            raise SceneError(f"scene {self.name!r} contains non-finite vertices")

@@ -1,0 +1,63 @@
+"""Abstract interface every traversal stack architecture implements.
+
+A stack model manages the traversal stacks of one warp (``warp_size``
+lanes).  Pushes and pops return the memory-request chains the paper's
+stack manager would generate; the timing model prices them.  Models also
+expose logical state (depth, contents) so tests can verify LIFO
+equivalence against the reference stack.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+from repro.errors import StackError
+from repro.stack.ops import StackActivity
+
+#: Bytes per traversal stack entry (a node address), as in the paper.
+ENTRY_BYTES = 8
+
+
+class StackModel(ABC):
+    """Per-warp traversal stack manager."""
+
+    def __init__(self, warp_size: int = 32) -> None:
+        if warp_size <= 0:
+            raise StackError("warp size must be positive")
+        self.warp_size = warp_size
+
+    @abstractmethod
+    def push(self, lane: int, value: int) -> StackActivity:
+        """Push ``value`` for ``lane``; returns the spill op chain (if any)."""
+
+    @abstractmethod
+    def pop(self, lane: int) -> "tuple[int, StackActivity]":
+        """Pop ``lane``'s newest value; returns it and the reload op chain.
+
+        Raises:
+            StackError: when the lane's stack is logically empty.
+        """
+
+    @abstractmethod
+    def depth(self, lane: int) -> int:
+        """Current logical stack depth of ``lane``."""
+
+    @abstractmethod
+    def contents(self, lane: int) -> List[int]:
+        """Logical stack contents, oldest first (test/diagnostic use)."""
+
+    def finish(self, lane: int) -> None:
+        """Lane's ray completed traversal.
+
+        Any leftover entries (an any-hit ray abandoning its stack) are
+        discarded; reallocation-aware models additionally release borrowed
+        stacks and mark the lane's own stack idle.
+        """
+
+    def reset(self) -> None:
+        """Restore the model to its initial state (a new warp arrives)."""
+
+    def _check_lane(self, lane: int) -> None:
+        if not 0 <= lane < self.warp_size:
+            raise StackError(f"lane {lane} outside warp of {self.warp_size}")

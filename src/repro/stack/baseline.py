@@ -1,0 +1,104 @@
+"""Baseline short stack: RB stack spilling directly to global memory.
+
+This is the architecture of paper Fig. 3: an N-entry on-chip ray-buffer
+stack per thread.  A push into a full stack first spills the *oldest*
+entry to thread-local global memory (one global store); every pop while
+spilled entries exist eagerly reloads the most recently spilled entry
+into the bottom of the RB stack (one global load), exactly the sequence
+the figure's steps 2/3 and 4/5 show.
+
+Spill addresses are thread-specific (``spill_base + thread * region``),
+which is why the paper notes spill traffic cannot coalesce across
+divergent rays.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import StackError
+from repro.stack.base import StackModel
+from repro.stack.ops import MemoryOp, MemSpace, OpKind, StackActivity, no_activity
+from repro.stack.spill import SPILL_BASE_ADDRESS, SpillRegion
+
+
+class BaselineStack(StackModel):
+    """RB_N short stack with direct global-memory overflow."""
+
+    def __init__(
+        self,
+        rb_entries: int = 8,
+        warp_size: int = 32,
+        spill_base: int = SPILL_BASE_ADDRESS,
+        warp_index: int = 0,
+    ) -> None:
+        super().__init__(warp_size)
+        if rb_entries < 1:
+            raise StackError("RB stack needs at least one entry")
+        self.rb_entries = rb_entries
+        self.warp_index = warp_index
+        self._spill_region = SpillRegion(
+            warp_index, warp_size=warp_size, base_address=spill_base
+        )
+        self._rb: List[List[int]] = [[] for _ in range(warp_size)]
+        self._spilled: List[List[int]] = [[] for _ in range(warp_size)]
+
+    def _spill_address(self, lane: int, index: int) -> int:
+        return self._spill_region.address(lane, index)
+
+    def push(self, lane: int, value: int) -> StackActivity:
+        self._check_lane(lane)
+        rb = self._rb[lane]
+        activity = no_activity()
+        if len(rb) == self.rb_entries:
+            # Overflow: oldest RB entry spills to global memory.
+            oldest = rb.pop(0)
+            spill = self._spilled[lane]
+            activity.ops.append(
+                MemoryOp(
+                    space=MemSpace.GLOBAL,
+                    kind=OpKind.STORE,
+                    address=self._spill_address(lane, len(spill)),
+                )
+            )
+            spill.append(oldest)
+        rb.append(value)
+        return activity
+
+    def pop(self, lane: int) -> "tuple[int, StackActivity]":
+        self._check_lane(lane)
+        rb = self._rb[lane]
+        if not rb:
+            raise StackError(f"pop from empty baseline stack (lane {lane})")
+        value = rb.pop()
+        activity = no_activity()
+        spill = self._spilled[lane]
+        if spill:
+            # Eager reload: most recently spilled entry returns to the
+            # bottom of the RB stack (Fig. 3 steps 4-5).
+            activity.ops.append(
+                MemoryOp(
+                    space=MemSpace.GLOBAL,
+                    kind=OpKind.LOAD,
+                    address=self._spill_address(lane, len(spill) - 1),
+                )
+            )
+            rb.insert(0, spill.pop())
+        return value, activity
+
+    def depth(self, lane: int) -> int:
+        self._check_lane(lane)
+        return len(self._rb[lane]) + len(self._spilled[lane])
+
+    def contents(self, lane: int) -> List[int]:
+        self._check_lane(lane)
+        return list(self._spilled[lane]) + list(self._rb[lane])
+
+    def finish(self, lane: int) -> None:
+        self._check_lane(lane)
+        self._rb[lane].clear()
+        self._spilled[lane].clear()
+
+    def reset(self) -> None:
+        self._rb = [[] for _ in range(self.warp_size)]
+        self._spilled = [[] for _ in range(self.warp_size)]

@@ -1,0 +1,16 @@
+"""RB_FULL: a full per-ray stack kept entirely on chip.
+
+The paper's upper bound (Fig. 8, Fig. 13 "FULL" bars): no spills, no
+reloads, no traffic — but impractical hardware, since worst-case depth
+(~30 entries x 8 B x 128 threads) would rival the register file.  The
+model is the reference stack under another name, kept separate so results
+read like the paper's configurations.
+"""
+
+from __future__ import annotations
+
+from repro.stack.reference import ReferenceStack
+
+
+class FullStack(ReferenceStack):
+    """Unbounded on-chip stack; generates no memory operations."""

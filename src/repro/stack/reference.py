@@ -1,0 +1,48 @@
+"""Unbounded reference stack — the correctness oracle.
+
+Generates no memory traffic and never overflows.  Every other model must
+pop exactly the values this one pops for any push/pop sequence; the
+property-based tests in ``tests/stack/test_equivalence.py`` enforce that.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import StackError
+from repro.stack.base import StackModel
+from repro.stack.ops import StackActivity, no_activity
+
+
+class ReferenceStack(StackModel):
+    """A plain per-lane Python list with stack semantics."""
+
+    def __init__(self, warp_size: int = 32) -> None:
+        super().__init__(warp_size)
+        self._stacks: List[List[int]] = [[] for _ in range(warp_size)]
+
+    def push(self, lane: int, value: int) -> StackActivity:
+        self._check_lane(lane)
+        self._stacks[lane].append(value)
+        return no_activity()
+
+    def pop(self, lane: int) -> "tuple[int, StackActivity]":
+        self._check_lane(lane)
+        if not self._stacks[lane]:
+            raise StackError(f"pop from empty reference stack (lane {lane})")
+        return self._stacks[lane].pop(), no_activity()
+
+    def depth(self, lane: int) -> int:
+        self._check_lane(lane)
+        return len(self._stacks[lane])
+
+    def contents(self, lane: int) -> List[int]:
+        self._check_lane(lane)
+        return list(self._stacks[lane])
+
+    def finish(self, lane: int) -> None:
+        self._check_lane(lane)
+        self._stacks[lane].clear()
+
+    def reset(self) -> None:
+        self._stacks = [[] for _ in range(self.warp_size)]

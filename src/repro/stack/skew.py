@@ -1,0 +1,45 @@
+"""Skewed bank access (paper section V-A / VI-B).
+
+With every lane starting its circular SH stack at entry 0, all 32 lanes of
+a warp hit the same entry index — and therefore the same shared-memory
+banks — in lockstep, serializing accesses.  The paper's fix offsets each
+lane's *base entry* by
+
+    base = (TID / k) mod N,  where k = 32 / (N * 2)
+
+so first accesses spread across the banks (Fig. 9: with N = 8, threads
+0 and 16 start at entry 0, threads 2 and 18 at entry 1, ...).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+#: Number of lanes in a warp (fixed by the architecture).
+WARP_SIZE = 32
+
+
+def skew_group_size(stack_entries: int) -> int:
+    """The paper's ``k = 32 / (N * 2)``, clamped to at least 1.
+
+    ``k`` is the number of consecutive lanes sharing a base entry.  For
+    ``N >= 16`` the formula gives ``k <= 1``; clamping to 1 assigns every
+    lane its own base, the natural extension.
+    """
+    if stack_entries <= 0:
+        raise ConfigError("SH stack must have at least one entry to skew")
+    return max(1, WARP_SIZE // (stack_entries * 2))
+
+
+def base_entry_index(tid: int, stack_entries: int, skewed: bool = True) -> int:
+    """Initial Top/Bottom entry index for lane ``tid``.
+
+    Without skewing every lane starts at entry 0 (the paper's initial
+    design, which it shows suffers severe bank conflicts).
+    """
+    if not 0 <= tid < WARP_SIZE:
+        raise ConfigError(f"thread id {tid} outside warp of {WARP_SIZE}")
+    if not skewed:
+        return 0
+    k = skew_group_size(stack_entries)
+    return (tid // k) % stack_entries

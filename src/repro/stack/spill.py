@@ -1,0 +1,39 @@
+"""Thread-local global-memory spill regions.
+
+Spilled stack entries live in thread-local ("local") memory, which GPUs
+lay out *interleaved*: entry ``i`` of all 32 lanes is contiguous, so a
+warp spilling the same entry index coalesces into one or two cache lines,
+while a single lane's consecutive entries are strided ``warp_size *
+ENTRY_BYTES`` apart.  Under the divergent stack depths of incoherent rays
+the lanes' indices differ, accesses scatter across lines, and spill
+traffic stops coalescing — the exact behaviour paper section II-C
+describes.
+"""
+
+from __future__ import annotations
+
+from repro.stack.base import ENTRY_BYTES
+
+#: Base of the thread-local spill space in the simulated address map.
+SPILL_BASE_ADDRESS = 0x8000_0000
+#: Entry slots reserved per lane before the region wraps.
+SPILL_SLOTS_PER_LANE = 128
+
+
+class SpillRegion:
+    """Address generator for one warp's spill space."""
+
+    def __init__(
+        self,
+        warp_index: int,
+        warp_size: int = 32,
+        base_address: int = SPILL_BASE_ADDRESS,
+    ) -> None:
+        self.warp_size = warp_size
+        self.warp_bytes = SPILL_SLOTS_PER_LANE * warp_size * ENTRY_BYTES
+        self.base = base_address + warp_index * self.warp_bytes
+
+    def address(self, lane: int, index: int) -> int:
+        """Interleaved (SoA) address of spill slot ``index`` for ``lane``."""
+        slot = index % SPILL_SLOTS_PER_LANE
+        return self.base + slot * self.warp_size * ENTRY_BYTES + lane * ENTRY_BYTES

@@ -1,0 +1,75 @@
+"""Stack-depth statistics over traces (paper Figs. 4, 5 and 10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.trace.events import RayTrace
+
+
+@dataclass
+class DepthStats:
+    """Max/average/median stack depth over a workload (Fig. 4 bars)."""
+
+    max_depth: int
+    avg_depth: float
+    median_depth: float
+    sample_count: int
+
+
+def depth_statistics(traces: Sequence[RayTrace]) -> DepthStats:
+    """Depth recorded at every push and pop across all rays (paper III-A)."""
+    samples: List[int] = []
+    for trace in traces:
+        samples.extend(trace.stack_depth_profile())
+    if not samples:
+        return DepthStats(max_depth=0, avg_depth=0.0, median_depth=0.0, sample_count=0)
+    arr = np.asarray(samples)
+    return DepthStats(
+        max_depth=int(arr.max()),
+        avg_depth=float(arr.mean()),
+        median_depth=float(np.median(arr)),
+        sample_count=len(samples),
+    )
+
+
+def depth_histogram(
+    traces: Sequence[RayTrace], max_bucket: int = 40
+) -> Dict[int, int]:
+    """Counts of each observed stack depth (Fig. 5's distribution)."""
+    histogram: Dict[int, int] = {}
+    for trace in traces:
+        for depth in trace.stack_depth_profile():
+            bucket = min(depth, max_bucket)
+            histogram[bucket] = histogram.get(bucket, 0) + 1
+    return histogram
+
+
+def bucket_fractions(
+    histogram: Dict[int, int],
+    buckets: Sequence[Tuple[int, int]] = ((1, 8), (9, 16), (17, 10**9)),
+) -> List[float]:
+    """Fraction of depth samples falling in each ``[lo, hi]`` bucket.
+
+    The paper's Fig. 5 summary uses 1-8 / 9-16 / >16 (17.0% in 9-16,
+    1.9% above 16).  Depth-0 samples (a pop emptying the stack) are not
+    counted, matching the paper's 'required entries' framing.
+    """
+    total = sum(count for depth, count in histogram.items() if depth >= 1)
+    if total == 0:
+        return [0.0 for _ in buckets]
+    fractions = []
+    for lo, hi in buckets:
+        in_bucket = sum(
+            count for depth, count in histogram.items() if lo <= depth <= hi
+        )
+        fractions.append(in_bucket / total)
+    return fractions
+
+
+def per_thread_depth_series(traces: Sequence[RayTrace]) -> List[List[int]]:
+    """Per-ray depth-at-each-access series (the rows of Fig. 10's heatmap)."""
+    return [trace.stack_depth_profile() for trace in traces]

@@ -1,0 +1,123 @@
+"""Trace event records.
+
+A :class:`RayTrace` is the complete record of one ray's traversal: an
+ordered list of :class:`Step` objects.  Each step corresponds to one node
+visit by the RT unit and carries the stack activity that visit caused:
+
+* ``pushes`` — child node addresses pushed (far-to-near, so the nearest
+  pushed sibling pops first);
+* ``popped`` — whether the *next* node was obtained by popping the stack
+  (``False`` when traversal continued directly into the nearest child, or
+  when this is the final step).
+
+Replaying the steps against any stack model therefore reconstructs the
+exact push/pop sequence of the paper's Fig. 3 walkthrough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Sequence
+
+
+class RayKind(Enum):
+    """What generated the ray (affects warp coherence, not traversal)."""
+
+    PRIMARY = "primary"
+    SHADOW = "shadow"
+    BOUNCE = "bounce"
+
+
+class NodeKind(Enum):
+    """What the RT unit does at this node."""
+
+    INTERNAL = "internal"  # ray-box tests against children
+    LEAF = "leaf"          # ray-triangle tests
+
+
+@dataclass
+class Step:
+    """One node visit in a ray's traversal."""
+
+    __slots__ = ("address", "size_bytes", "kind", "tests", "pushes", "popped")
+
+    address: int
+    size_bytes: int
+    kind: NodeKind
+    tests: int           # number of box or triangle tests performed
+    pushes: List[int]    # node addresses pushed onto the traversal stack
+    popped: bool         # next node came from a stack pop
+
+
+@dataclass
+class RayTrace:
+    """The full traversal record of one ray."""
+
+    ray_id: int
+    pixel: int
+    kind: RayKind
+    steps: List[Step] = field(default_factory=list)
+    hit_prim: int = -1
+    hit_t: float = float("inf")
+
+    @property
+    def hit(self) -> bool:
+        """True when the ray found a closest hit."""
+        return self.hit_prim >= 0
+
+    @property
+    def step_count(self) -> int:
+        """Number of node visits."""
+        return len(self.steps)
+
+    def stack_depth_profile(self) -> List[int]:
+        """Stack depth recorded after every push and pop (paper Fig. 5).
+
+        The profile starts from an empty stack; each push appends
+        ``depth + 1`` and each pop appends ``depth - 1``.
+        """
+        profile: List[int] = []
+        depth = 0
+        for step in self.steps:
+            for _ in step.pushes:
+                depth += 1
+                profile.append(depth)
+            if step.popped:
+                depth -= 1
+                profile.append(depth)
+        return profile
+
+    def max_stack_depth(self) -> int:
+        """Peak stack depth over the traversal."""
+        peak = 0
+        depth = 0
+        for step in self.steps:
+            depth += len(step.pushes)
+            peak = max(peak, depth)
+            if step.popped:
+                depth -= 1
+        return peak
+
+    def validate(self) -> None:
+        """Check push/pop balance (depth never negative).
+
+        Raises:
+            repro.errors.TraversalError: on an inconsistent event stream.
+        """
+        from repro.errors import TraversalError
+
+        depth = 0
+        for i, step in enumerate(self.steps):
+            depth += len(step.pushes)
+            if step.popped:
+                depth -= 1
+            if depth < 0:
+                raise TraversalError(
+                    f"ray {self.ray_id}: stack depth negative at step {i}"
+                )
+
+
+def total_steps(traces: Sequence[RayTrace]) -> int:
+    """Total node visits across a collection of traces."""
+    return sum(trace.step_count for trace in traces)

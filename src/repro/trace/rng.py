@@ -1,0 +1,59 @@
+"""Deterministic random streams for path tracing.
+
+Every random decision in the workload (bounce directions, sub-pixel
+jitter) is keyed on ``(seed, pixel, bounce, sample)`` through a counter
+hash, so traces are bit-identical across runs and independent of
+generation order — a requirement for the two-phase simulation design.
+"""
+
+from __future__ import annotations
+
+from math import cos, pi, sin, sqrt
+from typing import Tuple
+
+import numpy as np
+
+from repro.geometry.vec import Vec3, cross, normalize
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(state: int) -> int:
+    """One round of SplitMix64 — a well-mixed 64-bit hash."""
+    state = (state + 0x9E3779B97F4A7C15) & _MASK64
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+class DeterministicRng:
+    """Counter-based RNG: hash of a key tuple, no mutable stream state."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed & _MASK64
+
+    def uniform(self, *key: int) -> float:
+        """A float in ``[0, 1)`` determined by ``(seed, *key)``."""
+        state = self.seed
+        for part in key:
+            state = _splitmix64(state ^ (part & _MASK64))
+        return (state >> 11) / float(1 << 53)
+
+    def uniform_pair(self, *key: int) -> Tuple[float, float]:
+        """Two independent uniforms for the same key."""
+        return self.uniform(*key, 0xA5A5), self.uniform(*key, 0x5A5A)
+
+    def cosine_hemisphere(self, normal: Vec3, *key: int) -> Vec3:
+        """Cosine-weighted direction in the hemisphere around ``normal``."""
+        u1, u2 = self.uniform_pair(*key)
+        r = sqrt(u1)
+        theta = 2.0 * pi * u2
+        x = r * cos(theta)
+        y = r * sin(theta)
+        z = sqrt(max(0.0, 1.0 - u1))
+        # Build an orthonormal basis around the normal.
+        helper = np.array([1.0, 0.0, 0.0]) if abs(normal[0]) < 0.9 else np.array([0.0, 1.0, 0.0])
+        tangent = normalize(cross(normal, helper))
+        bitangent = cross(normal, tangent)
+        return normalize(x * tangent + y * bitangent + z * normal)

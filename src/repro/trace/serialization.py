@@ -1,0 +1,93 @@
+"""Trace serialization: persist traced workloads to disk and back.
+
+Phase one (path tracing) dominates experiment time, and its output is
+configuration-independent — a natural caching boundary.  Traces serialize
+to a compact JSON structure; integers dominate so the files compress well
+under any external compressor.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence
+
+from repro.errors import TraversalError
+from repro.trace.events import NodeKind, RayKind, RayTrace, Step
+
+#: Bump when the on-disk structure changes.
+FORMAT_VERSION = 1
+
+
+def traces_to_dict(traces: Sequence[RayTrace]) -> dict:
+    """Encode traces as a JSON-ready dict."""
+    encoded = []
+    for trace in traces:
+        encoded.append(
+            {
+                "ray_id": int(trace.ray_id),
+                "pixel": int(trace.pixel),
+                "kind": trace.kind.value,
+                # int()/float() coercion: hit results may carry numpy scalars.
+                "hit_prim": int(trace.hit_prim),
+                "hit_t": float(trace.hit_t) if trace.hit_prim >= 0 else None,
+                # Steps as parallel arrays keep the JSON compact.
+                "addresses": [int(s.address) for s in trace.steps],
+                "sizes": [int(s.size_bytes) for s in trace.steps],
+                "kinds": [1 if s.kind is NodeKind.LEAF else 0 for s in trace.steps],
+                "tests": [int(s.tests) for s in trace.steps],
+                "pushes": [[int(p) for p in s.pushes] for s in trace.steps],
+                "popped": [1 if s.popped else 0 for s in trace.steps],
+            }
+        )
+    return {"version": FORMAT_VERSION, "traces": encoded}
+
+
+def traces_from_dict(data: dict) -> List[RayTrace]:
+    """Decode traces written by :func:`traces_to_dict`."""
+    if data.get("version") != FORMAT_VERSION:
+        raise TraversalError(
+            f"unsupported trace format version {data.get('version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    traces: List[RayTrace] = []
+    for record in data["traces"]:
+        trace = RayTrace(
+            ray_id=record["ray_id"],
+            pixel=record["pixel"],
+            kind=RayKind(record["kind"]),
+        )
+        trace.hit_prim = record["hit_prim"]
+        trace.hit_t = (
+            record["hit_t"] if record["hit_t"] is not None else float("inf")
+        )
+        fields = zip(
+            record["addresses"], record["sizes"], record["kinds"],
+            record["tests"], record["pushes"], record["popped"],
+        )
+        for address, size, kind, tests, pushes, popped in fields:
+            trace.steps.append(
+                Step(
+                    address=address,
+                    size_bytes=size,
+                    kind=NodeKind.LEAF if kind else NodeKind.INTERNAL,
+                    tests=tests,
+                    pushes=list(pushes),
+                    popped=bool(popped),
+                )
+            )
+        trace.validate()
+        traces.append(trace)
+    return traces
+
+
+def save_traces(traces: Sequence[RayTrace], path) -> Path:
+    """Write traces to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(traces_to_dict(traces)))
+    return path
+
+
+def load_traces(path) -> List[RayTrace]:
+    """Read traces written by :func:`save_traces`."""
+    return traces_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,132 @@
+"""Depth-first wide-BVH traversal with stack-event recording.
+
+Implements the traversal loop of paper section II-A / Fig. 3: visit a node,
+test the ray against all child bounds, continue into the nearest hit child
+and push the remaining hit children (far-to-near); at leaves run
+ray-triangle tests; obtain the next node by popping.  Closest-hit rays
+shrink ``t_max`` as hits are found; any-hit (shadow) rays terminate on the
+first triangle hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bvh.wide import WideBVH
+from repro.geometry.intersect import ray_aabb_intersect_batch, ray_triangle_intersect
+from repro.geometry.ray import Ray
+from repro.trace.events import NodeKind, RayKind, RayTrace, Step
+
+
+@dataclass
+class TraceResult:
+    """Outcome of tracing one ray."""
+
+    trace: RayTrace
+    hit_prim: int
+    hit_t: float
+
+    @property
+    def hit(self) -> bool:
+        """True when the ray intersected a primitive."""
+        return self.hit_prim >= 0
+
+
+class Tracer:
+    """Traces rays through one wide BVH, emitting :class:`RayTrace` records."""
+
+    def __init__(self, bvh: WideBVH) -> None:
+        self.bvh = bvh
+        self.scene = bvh.scene
+
+    def trace(
+        self,
+        ray: Ray,
+        ray_id: int = 0,
+        pixel: int = 0,
+        kind: RayKind = RayKind.PRIMARY,
+        any_hit: bool = False,
+    ) -> TraceResult:
+        """Trace one ray to its closest hit (or first hit when ``any_hit``).
+
+        Returns a :class:`TraceResult` whose trace carries the full stack
+        event stream.
+        """
+        bvh = self.bvh
+        trace = RayTrace(ray_id=ray_id, pixel=pixel, kind=kind)
+        best_t = ray.t_max
+        best_prim = -1
+
+        # Traversal stack of node indices (the *logical* stack; physical
+        # placement is the timing model's concern).
+        stack: List[int] = []
+        current: Optional[int] = bvh.root
+        done = False
+        while not done:
+            node = bvh.nodes[current]
+            pushes: List[int] = []
+            if node.is_leaf:
+                node_kind = NodeKind.LEAF
+                tests = len(node.prim_ids)
+                for prim_id in node.prim_ids:
+                    t = ray_triangle_intersect(
+                        Ray(ray.origin, ray.direction, ray.t_min, best_t),
+                        self.scene.triangle(prim_id),
+                    )
+                    if t is not None and t < best_t:
+                        best_t = t
+                        best_prim = prim_id
+                        if any_hit:
+                            break
+                next_node = None
+            else:
+                node_kind = NodeKind.INTERNAL
+                clipped = Ray(ray.origin, ray.direction, ray.t_min, best_t)
+                hit_mask, t_enter = ray_aabb_intersect_batch(
+                    clipped, bvh.child_los[node.index], bvh.child_his[node.index]
+                )
+                tests = node.child_count
+                hit_children = [
+                    (float(t_enter[i]), node.children[i])
+                    for i in range(node.child_count)
+                    if hit_mask[i]
+                ]
+                if hit_children:
+                    # Nearest child visited next; others pushed far-to-near
+                    # so the nearest remaining sibling pops first.
+                    hit_children.sort(key=lambda pair: pair[0])
+                    next_node = hit_children[0][1]
+                    for _, child_index in reversed(hit_children[1:]):
+                        pushes.append(bvh.nodes[child_index].address)
+                        stack.append(child_index)
+                else:
+                    next_node = None
+
+            popped = False
+            if next_node is None:
+                if any_hit and best_prim >= 0:
+                    done = True  # shadow ray satisfied; abandon the stack
+                elif stack:
+                    next_node = stack.pop()
+                    popped = True
+                else:
+                    done = True
+            trace.steps.append(
+                Step(
+                    address=node.address,
+                    size_bytes=node.size_bytes,
+                    kind=node_kind,
+                    tests=tests,
+                    pushes=pushes,
+                    popped=popped,
+                )
+            )
+            if next_node is not None:
+                current = next_node
+
+        trace.hit_prim = best_prim
+        trace.hit_t = best_t if best_prim >= 0 else float("inf")
+        return TraceResult(trace=trace, hit_prim=best_prim, hit_t=trace.hit_t)

@@ -1,0 +1,29 @@
+"""Lumibench stand-in workloads (paper Table II).
+
+The paper evaluates on 16 Lumibench scenes we cannot redistribute; this
+package generates synthetic stand-ins with the same names, scaled ~1:100
+in triangle count, whose BVH *shape* (depth, overlap, leaf-access ratio)
+reproduces each scene's traversal character — the property that actually
+drives stack behaviour.  See ``repro.workloads.lumibench`` for the
+per-scene recipes and DESIGN.md for the substitution rationale.
+"""
+
+from repro.workloads.lumibench import (
+    SCENE_NAMES,
+    SceneRecipe,
+    load_scene,
+    scene_recipe,
+    all_scenes,
+)
+from repro.workloads.params import WorkloadParams, DEFAULT_PARAMS, COMPLEX_SCENES
+
+__all__ = [
+    "SCENE_NAMES",
+    "SceneRecipe",
+    "load_scene",
+    "scene_recipe",
+    "all_scenes",
+    "WorkloadParams",
+    "DEFAULT_PARAMS",
+    "COMPLEX_SCENES",
+]

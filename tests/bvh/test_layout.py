@@ -1,0 +1,80 @@
+"""Memory layout tests."""
+
+import pytest
+
+from repro.bvh.api import build_bvh
+from repro.bvh.layout import (
+    BVH_BASE_ADDRESS,
+    NODE_ALIGNMENT,
+    assign_addresses,
+    node_size_bytes,
+)
+from repro.errors import BVHError
+from repro.scene.generators import scatter_mesh
+from repro.scene.scene import Scene
+
+
+@pytest.fixture(scope="module")
+def bvh():
+    return build_bvh(Scene("clutter", scatter_mesh(300, seed=31)))
+
+
+def test_node_size_alignment():
+    for children in range(7):
+        for prims in range(5):
+            size = node_size_bytes(children, prims)
+            assert size % NODE_ALIGNMENT == 0
+            assert size > 0
+
+
+def test_node_size_monotone_in_children():
+    assert node_size_bytes(6, 0) > node_size_bytes(2, 0)
+
+
+def test_all_nodes_addressed(bvh):
+    assert len(bvh.address_to_node) == bvh.node_count
+
+
+def test_addresses_unique(bvh):
+    addresses = [n.address for n in bvh.nodes]
+    assert len(set(addresses)) == len(addresses)
+
+
+def test_addresses_non_overlapping(bvh):
+    spans = sorted((n.address, n.address + n.size_bytes) for n in bvh.nodes)
+    for (start_a, end_a), (start_b, _) in zip(spans, spans[1:]):
+        assert end_a <= start_b
+
+
+def test_root_at_base(bvh):
+    assert bvh.nodes[bvh.root].address == BVH_BASE_ADDRESS
+
+
+def test_total_bytes_equals_span(bvh):
+    end = max(n.address + n.size_bytes for n in bvh.nodes)
+    assert bvh.total_bytes == end - BVH_BASE_ADDRESS
+
+
+def test_lookup_roundtrip(bvh):
+    for node in bvh.nodes:
+        assert bvh.node_at_address(node.address) is node
+
+
+def test_lookup_unknown_raises(bvh):
+    with pytest.raises(BVHError):
+        bvh.node_at_address(BVH_BASE_ADDRESS - 64)
+
+
+def test_layout_summary(bvh):
+    layout = assign_addresses(bvh)
+    assert layout.node_count == bvh.node_count
+    assert layout.total_bytes == bvh.total_bytes
+    assert layout.megabytes == pytest.approx(bvh.total_bytes / 1024 / 1024)
+
+
+def test_children_contiguous_after_parent(bvh):
+    # Depth-first layout: the first child immediately follows its parent.
+    for node in bvh.nodes:
+        if node.children:
+            first_child = bvh.nodes[node.children[0]]
+            assert first_child.address == node.address + node.size_bytes

@@ -1,0 +1,59 @@
+"""BVH statistics tests."""
+
+import pytest
+
+from repro.bvh.api import build_bvh
+from repro.bvh.stats import compute_stats
+from repro.scene.generators import scatter_mesh
+from repro.scene.scene import Scene
+
+
+@pytest.fixture(scope="module")
+def bvh():
+    return build_bvh(Scene("clutter", scatter_mesh(400, seed=41)))
+
+
+@pytest.fixture(scope="module")
+def stats(bvh):
+    return compute_stats(bvh)
+
+
+def test_node_partition(stats):
+    assert stats.internal_count + stats.leaf_count == stats.node_count
+
+
+def test_triangle_count_matches_scene(bvh, stats):
+    assert stats.triangle_count == bvh.scene.triangle_count
+
+
+def test_max_depth_matches(bvh, stats):
+    assert stats.max_depth == bvh.max_depth()
+
+
+def test_avg_leaf_prims_in_range(stats):
+    assert 1.0 <= stats.avg_leaf_prims <= 4.0
+
+
+def test_children_bounded_by_width(bvh, stats):
+    assert stats.max_children <= bvh.width
+    assert 2.0 <= stats.avg_children <= bvh.width
+
+
+def test_total_bytes_positive(stats):
+    assert stats.total_bytes > 0
+    assert stats.megabytes == pytest.approx(stats.total_bytes / 1024 / 1024)
+
+
+def test_leaf_ratio_in_unit_interval(stats):
+    assert 0.0 < stats.leaf_ratio < 1.0
+
+
+def test_single_node_stats():
+    bvh = build_bvh(Scene("one", scatter_mesh(1, seed=1)))
+    stats = compute_stats(bvh)
+    assert stats.node_count == 1
+    assert stats.leaf_count == 1
+    assert stats.internal_count == 0
+    assert stats.max_children == 0
+    assert stats.avg_children == 0.0
+    assert stats.leaf_ratio == 1.0

@@ -1,0 +1,60 @@
+"""Shared fixtures: small deterministic scenes, BVHs and traces."""
+
+import numpy as np
+import pytest
+
+from repro.bvh.api import build_bvh
+from repro.scene.generators import grid_mesh, merge_meshes, scatter_mesh
+from repro.scene.scene import Scene
+from repro.trace.path import generate_workload
+
+
+@pytest.fixture(scope="session")
+def small_scene():
+    """A few hundred triangles with both structure and clutter."""
+    mesh = merge_meshes(
+        [
+            grid_mesh(6, 6, size=10.0, height_amplitude=0.5, seed=1),
+            scatter_mesh(300, bounds_size=8.0, triangle_size=0.4, clusters=4, seed=2),
+        ]
+    )
+    return Scene("small", mesh)
+
+
+@pytest.fixture(scope="session")
+def small_bvh(small_scene):
+    """Wide BVH over the small scene (laid out)."""
+    return build_bvh(small_scene)
+
+
+@pytest.fixture(scope="session")
+def deep_scene():
+    """Overlapping clutter that produces stack depths well beyond 8."""
+    mesh = scatter_mesh(
+        4000, bounds_size=10.0, triangle_size=0.6, clusters=10, seed=7
+    )
+    return Scene("deepclutter", mesh)
+
+
+@pytest.fixture(scope="session")
+def deep_bvh(deep_scene):
+    """Wide BVH over the deep scene."""
+    return build_bvh(deep_scene)
+
+
+@pytest.fixture(scope="session")
+def small_workload(small_bvh):
+    """Traces of a tiny path-traced frame over the small scene."""
+    return generate_workload(small_bvh, width=8, height=8, max_bounces=2, seed=3)
+
+
+@pytest.fixture(scope="session")
+def deep_workload(deep_bvh):
+    """Traces over the deep scene — exercises overflow paths heavily."""
+    return generate_workload(deep_bvh, width=10, height=10, max_bounces=2, seed=4)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic numpy generator for per-test randomness."""
+    return np.random.default_rng(1234)

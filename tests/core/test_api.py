@@ -1,0 +1,60 @@
+"""Public API tests."""
+
+import pytest
+
+from repro import (
+    baseline_config,
+    named_config,
+    simulate,
+    time_traces,
+    trace_scene,
+)
+
+
+def test_trace_scene_returns_workload(small_scene):
+    workload = trace_scene(small_scene, width=6, height=6, max_bounces=1)
+    assert workload.ray_count >= 36
+    assert workload.scene_name == "small"
+
+
+def test_trace_scene_accepts_prebuilt_bvh(small_scene, small_bvh):
+    workload = trace_scene(small_scene, width=4, height=4, bvh=small_bvh)
+    assert workload.ray_count >= 16
+
+
+def test_time_traces_result_fields(small_workload):
+    result = time_traces(
+        small_workload.all_traces, baseline_config(), scene_name="small"
+    )
+    assert result.scene_name == "small"
+    assert result.ipc > 0
+    assert result.cycles > 0
+    assert result.ray_count == len(small_workload.all_traces)
+    assert result.depth_stats is not None
+    assert result.label == "RB_8"
+
+
+def test_simulate_end_to_end(small_scene):
+    result = simulate(small_scene, named_config("RB_8+SH_8+SK+RA"),
+                      width=6, height=6, max_bounces=1)
+    assert result.ipc > 0
+    assert result.label == "RB_8+SH_8+SK+RA"
+
+
+def test_simulate_default_config(small_scene):
+    result = simulate(small_scene, width=4, height=4, max_bounces=0)
+    assert result.label == "RB_8"
+
+
+def test_speedup_over(small_scene):
+    base = simulate(small_scene, named_config("RB_8"), width=6, height=6)
+    fast = simulate(small_scene, named_config("RB_FULL"), width=6, height=6)
+    assert fast.speedup_over(base) >= 1.0
+    assert base.speedup_over(base) == pytest.approx(1.0)
+
+
+def test_summary_contains_key_fields(small_scene):
+    result = simulate(small_scene, width=4, height=4, max_bounces=0)
+    text = result.summary()
+    assert "IPC" in text
+    assert "small" in text

@@ -1,0 +1,52 @@
+"""Property tests on configuration naming and derivation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.presets import named_config
+from repro.gpu.config import GPUConfig
+
+
+@given(
+    rb=st.sampled_from([1, 2, 4, 8, 16, 32]),
+    sh=st.sampled_from([0, 2, 4, 8, 16]),
+    sk=st.booleans(),
+    ra=st.booleans(),
+    iw=st.booleans(),
+)
+def test_describe_roundtrips_through_named_config(rb, sh, sk, ra, iw):
+    """describe() output always parses back to an equivalent config."""
+    if sh == 0:
+        sk = ra = iw = False
+    config = GPUConfig(
+        rb_stack_entries=rb,
+        sh_stack_entries=sh,
+        skewed_bank_access=sk,
+        intra_warp_realloc=ra,
+        inter_warp_realloc=iw,
+    )
+    parsed = named_config(config.describe())
+    assert parsed.rb_stack_entries == rb
+    assert parsed.sh_stack_entries == sh
+    assert parsed.skewed_bank_access == sk
+    assert parsed.intra_warp_realloc == ra
+    assert parsed.inter_warp_realloc == iw
+    assert parsed.describe() == config.describe()
+
+
+@given(sh=st.sampled_from([1, 2, 4, 8, 16]))
+def test_sram_split_conserved(sh):
+    """L1D + shared carve-out always equals the unified SRAM."""
+    config = GPUConfig(sh_stack_entries=sh)
+    assert config.l1d_bytes + config.shared_memory_bytes == (
+        config.unified_cache_bytes
+    )
+
+
+@given(sh=st.sampled_from([2, 4, 8, 16]))
+def test_carveout_matches_stack_arithmetic(sh):
+    """Carve-out = entries x 8 B x threads, padded to bank rows."""
+    config = GPUConfig(sh_stack_entries=sh)
+    raw = sh * 8 * config.warp_size * config.max_warps_per_rt_unit
+    assert config.shared_memory_bytes >= raw
+    assert config.shared_memory_bytes < raw + 128 * config.max_warps_per_rt_unit

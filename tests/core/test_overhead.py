@@ -1,0 +1,45 @@
+"""Hardware overhead model tests (paper section VI-C)."""
+
+import pytest
+
+from repro.core.overhead import field_bit_table, sms_hardware_overhead
+from repro.core.presets import sms_config
+
+
+def test_paper_default_overhead_272_bytes():
+    report = sms_hardware_overhead()
+    assert report.sms_field_bytes == 272
+    assert report.top_bottom_bytes == 96
+    assert report.management_bytes == 176
+
+
+def test_rb_stack_bytes_8kb():
+    """8 B x 8 entries x 128 threads = 8 KB (the paper's comparison)."""
+    report = sms_hardware_overhead()
+    assert report.rb_stack_bytes == 8 * 1024
+    assert report.rb_double_bytes == 8 * 1024
+
+
+def test_shared_memory_carveout_8kb():
+    assert sms_hardware_overhead().shared_memory_bytes == 8 * 1024
+
+
+def test_overhead_scales_with_sh_entries():
+    small = sms_hardware_overhead(sms_config(sh_entries=4))
+    large = sms_hardware_overhead(sms_config(sh_entries=16))
+    assert large.sms_field_bytes > small.sms_field_bytes
+
+
+def test_summary_mentions_key_numbers():
+    text = sms_hardware_overhead().summary()
+    assert "272" in text
+    assert "8192" in text
+
+
+def test_field_bit_table_paper_values():
+    bits = field_bit_table()
+    assert bits == {
+        "top": 3, "bottom": 3, "overflow": 1, "idle": 1,
+        "next_tid": 5, "priority": 2, "flush": 2,
+    }
+    assert sum(bits.values()) == 17  # 6 index bits + 11 management bits

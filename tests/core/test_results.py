@@ -1,0 +1,54 @@
+"""SimulationResult record tests."""
+
+import pytest
+
+from repro.core.presets import baseline_config, sms_config
+from repro.core.results import SimulationResult
+from repro.gpu.counters import Counters
+
+
+def make_result(ipc_instructions=100, cycles=50, label_config=None):
+    counters = Counters(instructions=ipc_instructions, cycles=cycles)
+    return SimulationResult(
+        scene_name="X",
+        config=label_config or baseline_config(),
+        counters=counters,
+        ray_count=10,
+    )
+
+
+def test_ipc_and_cycles():
+    result = make_result(100, 50)
+    assert result.ipc == 2.0
+    assert result.cycles == 50
+
+
+def test_label_from_config():
+    result = make_result(label_config=sms_config())
+    assert result.label == "RB_8+SH_8+SK+RA"
+
+
+def test_offchip_from_counters():
+    result = make_result()
+    result.counters.dram_reads = 3
+    result.counters.dram_writes = 2
+    assert result.offchip_accesses == 5
+
+
+def test_speedup_over():
+    fast = make_result(100, 25)
+    slow = make_result(100, 50)
+    assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+
+def test_speedup_over_zero_ipc():
+    fast = make_result(100, 25)
+    zero = make_result(0, 0)
+    assert fast.speedup_over(zero) == float("inf")
+
+
+def test_summary_fields():
+    text = make_result().summary()
+    assert "X" in text
+    assert "RB_8" in text
+    assert "IPC" in text

@@ -1,0 +1,40 @@
+"""Report rendering tests."""
+
+from repro.experiments.report import format_bar_series, format_table
+
+
+def test_table_alignment():
+    text = format_table(["a", "bb"], [(1, 2.5), ("xyz", 3)])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert lines[0].startswith("a")
+    assert "2.500" in text
+
+
+def test_table_title():
+    text = format_table(["x"], [(1,)], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_table_widths_accommodate_long_cells():
+    text = format_table(["h"], [("a-very-long-cell",)])
+    header, rule, row = text.splitlines()
+    assert len(rule) >= len("a-very-long-cell")
+
+
+def test_bar_series_scales_to_peak():
+    text = format_bar_series({"a": 1.0, "b": 2.0}, width=10)
+    lines = text.splitlines()
+    assert lines[1].count("#") == 10
+    assert lines[0].count("#") == 5
+
+
+def test_bar_series_title_and_labels():
+    text = format_bar_series({"only": 1.0}, title="Bars")
+    assert text.splitlines()[0] == "Bars"
+    assert "only" in text
+
+
+def test_bar_series_handles_tiny_values():
+    text = format_bar_series({"tiny": 1e-9, "big": 1.0})
+    assert "#" in text.splitlines()[0]  # at least one glyph

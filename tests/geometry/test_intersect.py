@@ -1,0 +1,146 @@
+"""Intersection kernel tests: slab ray/AABB and Moeller-Trumbore."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.aabb import AABB
+from repro.geometry.intersect import (
+    ray_aabb_intersect,
+    ray_aabb_intersect_batch,
+    ray_triangle_intersect,
+)
+from repro.geometry.ray import Ray
+from repro.geometry.triangle import Triangle
+from repro.geometry.vec import normalize, vec3
+
+
+def unit_box():
+    return AABB(lo=vec3(0, 0, 0), hi=vec3(1, 1, 1))
+
+
+def test_ray_hits_box_front():
+    ray = Ray(origin=vec3(-1, 0.5, 0.5), direction=vec3(1, 0, 0))
+    hit = ray_aabb_intersect(ray, unit_box())
+    assert hit is not None
+    t_enter, t_exit = hit
+    assert t_enter == pytest.approx(1.0)
+    assert t_exit == pytest.approx(2.0)
+
+
+def test_ray_misses_box():
+    ray = Ray(origin=vec3(-1, 2.5, 0.5), direction=vec3(1, 0, 0))
+    assert ray_aabb_intersect(ray, unit_box()) is None
+
+
+def test_ray_inside_box_reports_tmin():
+    ray = Ray(origin=vec3(0.5, 0.5, 0.5), direction=vec3(1, 0, 0))
+    hit = ray_aabb_intersect(ray, unit_box())
+    assert hit is not None
+    assert hit[0] == pytest.approx(ray.t_min)
+
+
+def test_ray_behind_box_misses():
+    ray = Ray(origin=vec3(2, 0.5, 0.5), direction=vec3(1, 0, 0))
+    assert ray_aabb_intersect(ray, unit_box()) is None
+
+
+def test_empty_box_never_hit():
+    ray = Ray(origin=vec3(-1, 0.5, 0.5), direction=vec3(1, 0, 0))
+    assert ray_aabb_intersect(ray, AABB.empty()) is None
+
+
+def test_axis_parallel_ray_in_slab():
+    # Direction has zero y/z components; ray inside those slabs.
+    ray = Ray(origin=vec3(-1, 0.5, 0.5), direction=vec3(1, 0, 0))
+    assert ray_aabb_intersect(ray, unit_box()) is not None
+
+
+def test_axis_parallel_ray_outside_slab():
+    ray = Ray(origin=vec3(-1, 2.0, 0.5), direction=vec3(1, 0, 0))
+    assert ray_aabb_intersect(ray, unit_box()) is None
+
+
+def test_t_max_clips_hit():
+    ray = Ray(origin=vec3(-1, 0.5, 0.5), direction=vec3(1, 0, 0), t_max=0.5)
+    assert ray_aabb_intersect(ray, unit_box()) is None
+
+
+def test_batch_matches_scalar():
+    ray = Ray(origin=vec3(-1, 0.2, 0.7), direction=normalize(vec3(1, 0.1, -0.05)))
+    boxes = [
+        AABB(lo=vec3(0, 0, 0), hi=vec3(1, 1, 1)),
+        AABB(lo=vec3(5, 5, 5), hi=vec3(6, 6, 6)),
+        AABB(lo=vec3(-2, -2, -2), hi=vec3(2, 2, 2)),
+    ]
+    los = np.stack([b.lo for b in boxes])
+    his = np.stack([b.hi for b in boxes])
+    hits, t_enter = ray_aabb_intersect_batch(ray, los, his)
+    for i, box in enumerate(boxes):
+        scalar = ray_aabb_intersect(ray, box)
+        assert hits[i] == (scalar is not None)
+        if scalar is not None:
+            assert t_enter[i] == pytest.approx(scalar[0])
+
+
+def test_triangle_center_hit():
+    tri = Triangle(a=vec3(0, 0, 0), b=vec3(1, 0, 0), c=vec3(0, 1, 0))
+    ray = Ray(origin=vec3(0.25, 0.25, 1.0), direction=vec3(0, 0, -1))
+    assert ray_triangle_intersect(ray, tri) == pytest.approx(1.0)
+
+
+def test_triangle_miss_outside():
+    tri = Triangle(a=vec3(0, 0, 0), b=vec3(1, 0, 0), c=vec3(0, 1, 0))
+    ray = Ray(origin=vec3(0.9, 0.9, 1.0), direction=vec3(0, 0, -1))
+    assert ray_triangle_intersect(ray, tri) is None
+
+
+def test_triangle_backface_hit():
+    tri = Triangle(a=vec3(0, 0, 0), b=vec3(1, 0, 0), c=vec3(0, 1, 0))
+    ray = Ray(origin=vec3(0.25, 0.25, -1.0), direction=vec3(0, 0, 1))
+    assert ray_triangle_intersect(ray, tri) == pytest.approx(1.0)
+
+
+def test_triangle_parallel_ray_misses():
+    tri = Triangle(a=vec3(0, 0, 0), b=vec3(1, 0, 0), c=vec3(0, 1, 0))
+    ray = Ray(origin=vec3(0, 0, 1), direction=vec3(1, 0, 0))
+    assert ray_triangle_intersect(ray, tri) is None
+
+
+def test_triangle_hit_respects_t_max():
+    tri = Triangle(a=vec3(0, 0, 0), b=vec3(1, 0, 0), c=vec3(0, 1, 0))
+    ray = Ray(origin=vec3(0.25, 0.25, 1.0), direction=vec3(0, 0, -1), t_max=0.5)
+    assert ray_triangle_intersect(ray, tri) is None
+
+
+def test_triangle_hit_respects_t_min():
+    tri = Triangle(a=vec3(0, 0, 0), b=vec3(1, 0, 0), c=vec3(0, 1, 0))
+    ray = Ray(origin=vec3(0.25, 0.25, 1.0), direction=vec3(0, 0, -1), t_min=2.0)
+    assert ray_triangle_intersect(ray, tri) is None
+
+
+coord = st.floats(min_value=-10, max_value=10, allow_nan=False)
+
+
+@given(st.builds(vec3, coord, coord, coord))
+def test_hit_triangle_bound_is_hit_box(offset):
+    """A ray hitting a triangle must also hit the triangle's AABB."""
+    tri = Triangle(a=vec3(0, 0, 0) + offset, b=vec3(1, 0, 0) + offset,
+                   c=vec3(0, 1, 0.2) + offset)
+    target = (tri.a + tri.b + tri.c) / 3.0
+    origin = target + vec3(0.3, 0.4, 5.0)
+    ray = Ray(origin=origin, direction=normalize(target - origin))
+    t = ray_triangle_intersect(ray, tri)
+    assert t is not None
+    from repro.geometry.triangle import triangle_aabb
+
+    assert ray_aabb_intersect(ray, triangle_aabb(tri)) is not None
+
+
+@given(coord, coord)
+def test_batch_empty_input(a, b):
+    ray = Ray(origin=vec3(a, b, 0), direction=vec3(1, 0, 0))
+    hits, t_enter = ray_aabb_intersect_batch(ray, np.zeros((0, 3)), np.zeros((0, 3)))
+    assert hits.shape == (0,)
+    assert t_enter.shape == (0,)

@@ -1,0 +1,54 @@
+"""Triangle unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.triangle import Triangle, triangle_aabb, triangle_centroid
+from repro.geometry.vec import vec3
+
+
+@pytest.fixture
+def unit_triangle():
+    return Triangle(a=vec3(0, 0, 0), b=vec3(1, 0, 0), c=vec3(0, 1, 0), prim_id=7)
+
+
+def test_vertices_stacked(unit_triangle):
+    verts = unit_triangle.vertices()
+    assert verts.shape == (3, 3)
+    assert np.allclose(verts[1], [1, 0, 0])
+
+
+def test_area_right_triangle(unit_triangle):
+    assert unit_triangle.area() == pytest.approx(0.5)
+
+
+def test_degenerate_detection():
+    tri = Triangle(a=vec3(0, 0, 0), b=vec3(1, 1, 1), c=vec3(2, 2, 2))
+    assert tri.is_degenerate()
+
+
+def test_non_degenerate(unit_triangle):
+    assert not unit_triangle.is_degenerate()
+
+
+def test_normal_right_handed(unit_triangle):
+    assert np.allclose(unit_triangle.normal(), [0, 0, 1])
+
+
+def test_normal_unit_length():
+    tri = Triangle(a=vec3(0, 0, 0), b=vec3(3, 0, 0), c=vec3(0, 5, 0))
+    assert np.linalg.norm(tri.normal()) == pytest.approx(1.0)
+
+
+def test_aabb_tight(unit_triangle):
+    box = triangle_aabb(unit_triangle)
+    assert np.allclose(box.lo, [0, 0, 0])
+    assert np.allclose(box.hi, [1, 1, 0])
+
+
+def test_centroid(unit_triangle):
+    assert np.allclose(triangle_centroid(unit_triangle), [1 / 3, 1 / 3, 0])
+
+
+def test_prim_id_kept(unit_triangle):
+    assert unit_triangle.prim_id == 7

@@ -1,0 +1,105 @@
+"""Vector math unit tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.vec import (
+    cross,
+    dot,
+    length,
+    lerp,
+    normalize,
+    reflect,
+    vec3,
+)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+vectors = st.builds(vec3, finite, finite, finite)
+
+
+def test_vec3_builds_float64_array():
+    v = vec3(1, 2, 3)
+    assert v.dtype == np.float64
+    assert v.shape == (3,)
+    assert list(v) == [1.0, 2.0, 3.0]
+
+
+def test_dot_orthogonal_axes():
+    assert dot(vec3(1, 0, 0), vec3(0, 1, 0)) == 0.0
+
+
+def test_dot_parallel():
+    assert dot(vec3(2, 0, 0), vec3(3, 0, 0)) == 6.0
+
+
+def test_cross_right_handed():
+    assert np.allclose(cross(vec3(1, 0, 0), vec3(0, 1, 0)), vec3(0, 0, 1))
+
+
+def test_cross_anticommutative():
+    a, b = vec3(1, 2, 3), vec3(-2, 0.5, 4)
+    assert np.allclose(cross(a, b), -cross(b, a))
+
+
+def test_length_pythagorean():
+    assert length(vec3(3, 4, 0)) == pytest.approx(5.0)
+
+
+def test_normalize_unit_length():
+    n = normalize(vec3(10, -4, 3))
+    assert length(n) == pytest.approx(1.0)
+
+
+def test_normalize_zero_raises():
+    with pytest.raises(GeometryError):
+        normalize(vec3(0, 0, 0))
+
+
+def test_lerp_endpoints_and_midpoint():
+    a, b = vec3(0, 0, 0), vec3(2, 4, 6)
+    assert np.allclose(lerp(a, b, 0.0), a)
+    assert np.allclose(lerp(a, b, 1.0), b)
+    assert np.allclose(lerp(a, b, 0.5), vec3(1, 2, 3))
+
+
+def test_reflect_off_floor():
+    incoming = normalize(vec3(1, -1, 0))
+    bounced = reflect(incoming, vec3(0, 1, 0))
+    assert np.allclose(bounced, normalize(vec3(1, 1, 0)))
+
+
+def test_reflect_preserves_length():
+    d = vec3(0.3, -2.0, 1.1)
+    r = reflect(d, vec3(0, 1, 0))
+    assert length(r) == pytest.approx(length(d))
+
+
+@given(vectors, vectors)
+def test_dot_commutative(a, b):
+    assert dot(a, b) == pytest.approx(dot(b, a), rel=1e-9, abs=1e-6)
+
+
+@given(vectors, vectors)
+def test_cross_orthogonal_to_inputs(a, b):
+    c = cross(a, b)
+    # Orthogonality up to floating-point error, which scales with the
+    # magnitudes involved.
+    scale = (length(a) * length(b) * max(length(c), 1.0)) + 1.0
+    assert abs(dot(c, a)) / scale < 1e-9
+    assert abs(dot(c, b)) / scale < 1e-9
+
+
+@given(vectors)
+def test_normalize_idempotent(a):
+    if length(a) < 1e-6:
+        return
+    once = normalize(a)
+    twice = normalize(once)
+    assert np.allclose(once, twice, atol=1e-12)

@@ -1,0 +1,82 @@
+"""Property-based cache tests: the model must behave as textbook LRU."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.cache import Cache
+
+LINE = 128
+
+# Access sequences over a small address space so evictions are frequent.
+accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=31),  # line index
+        st.booleans(),                           # is_store
+    ),
+    max_size=300,
+)
+
+
+class ReferenceLru:
+    """Dead-simple LRU reference (fully associative)."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.lines = OrderedDict()
+
+    def access(self, line, is_store):
+        hit = line in self.lines
+        evicted_dirty = None
+        if hit:
+            self.lines.move_to_end(line)
+            if is_store:
+                self.lines[line] = True
+        else:
+            if len(self.lines) >= self.capacity:
+                victim, dirty = self.lines.popitem(last=False)
+                if dirty:
+                    evicted_dirty = victim
+            self.lines[line] = is_store
+        return hit, evicted_dirty
+
+
+@settings(max_examples=200, deadline=None)
+@given(accesses, st.integers(min_value=1, max_value=8))
+def test_fully_associative_matches_reference(sequence, capacity_lines):
+    cache = Cache(size_bytes=capacity_lines * LINE, line_bytes=LINE)
+    reference = ReferenceLru(capacity_lines)
+    for line_index, is_store in sequence:
+        address = line_index * LINE
+        result = cache.access(address, is_store=is_store)
+        expected_hit, expected_dirty = reference.access(address, is_store)
+        assert result.hit == expected_hit
+        assert result.evicted_dirty_line == expected_dirty
+
+
+@settings(max_examples=100, deadline=None)
+@given(accesses)
+def test_occupancy_never_exceeds_capacity(sequence):
+    cache = Cache(size_bytes=4 * LINE, line_bytes=LINE, assoc=2)
+    for line_index, is_store in sequence:
+        cache.access(line_index * LINE, is_store=is_store)
+        assert cache.occupancy() <= 4
+
+
+@settings(max_examples=100, deadline=None)
+@given(accesses)
+def test_hits_plus_misses_equals_accesses(sequence):
+    cache = Cache(size_bytes=4 * LINE, line_bytes=LINE)
+    for line_index, is_store in sequence:
+        cache.access(line_index * LINE, is_store=is_store)
+    assert cache.hits + cache.misses == len(sequence)
+
+
+@settings(max_examples=100, deadline=None)
+@given(accesses)
+def test_immediate_reaccess_always_hits(sequence):
+    cache = Cache(size_bytes=2 * LINE, line_bytes=LINE)
+    for line_index, is_store in sequence:
+        cache.access(line_index * LINE, is_store=is_store)
+        assert cache.access(line_index * LINE).hit

@@ -1,0 +1,96 @@
+"""GPU configuration tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.config import GPUConfig, KB
+
+
+def test_defaults_match_table1_organization():
+    config = GPUConfig()
+    assert config.num_sms == 8
+    assert config.warp_size == 32
+    assert config.max_warps_per_rt_unit == 4
+    assert config.rb_stack_entries == 8
+    assert config.unified_cache_bytes == 64 * KB
+
+
+def test_shared_carveout_zero_without_sh_stack():
+    config = GPUConfig(sh_stack_entries=0)
+    assert config.shared_memory_bytes == 0
+    assert config.l1d_bytes == 64 * KB
+
+
+def test_paper_sram_split_8kb():
+    """Paper IV-B: SH_8 -> 8 KB shared + 56 KB L1D."""
+    config = GPUConfig(sh_stack_entries=8)
+    assert config.shared_memory_bytes == 8 * KB
+    assert config.l1d_bytes == 56 * KB
+
+
+def test_sh16_doubles_carveout():
+    config = GPUConfig(sh_stack_entries=16)
+    assert config.shared_memory_bytes == 16 * KB
+    assert config.l1d_bytes == 48 * KB
+
+
+def test_l1d_override():
+    config = GPUConfig(l1d_bytes_override=128 * KB)
+    assert config.l1d_bytes == 128 * KB
+
+
+def test_full_stack_config():
+    config = GPUConfig(rb_stack_entries=None)
+    assert config.describe() == "RB_FULL"
+
+
+def test_describe_labels():
+    assert GPUConfig().describe() == "RB_8"
+    assert GPUConfig(rb_stack_entries=4).describe() == "RB_4"
+    assert GPUConfig(sh_stack_entries=8).describe() == "RB_8+SH_8"
+    assert (
+        GPUConfig(sh_stack_entries=8, skewed_bank_access=True).describe()
+        == "RB_8+SH_8+SK"
+    )
+    assert (
+        GPUConfig(
+            sh_stack_entries=8, skewed_bank_access=True, intra_warp_realloc=True
+        ).describe()
+        == "RB_8+SH_8+SK+RA"
+    )
+
+
+def test_with_creates_modified_copy():
+    base = GPUConfig()
+    changed = base.with_(rb_stack_entries=16)
+    assert changed.rb_stack_entries == 16
+    assert base.rb_stack_entries == 8
+
+
+def test_threads_per_rt_unit():
+    assert GPUConfig().threads_per_rt_unit == 128
+
+
+def test_invalid_rb_entries():
+    with pytest.raises(ConfigError):
+        GPUConfig(rb_stack_entries=0)
+
+
+def test_full_stack_with_sh_rejected():
+    with pytest.raises(ConfigError):
+        GPUConfig(rb_stack_entries=None, sh_stack_entries=8)
+
+
+def test_sh_stack_cannot_exceed_sram():
+    with pytest.raises(ConfigError):
+        GPUConfig(sh_stack_entries=1024)
+
+
+def test_invalid_spill_policy():
+    with pytest.raises(ConfigError):
+        GPUConfig(spill_cache_policy="bogus")
+
+
+def test_negative_sh_entries_rejected():
+    with pytest.raises(ConfigError):
+        GPUConfig(sh_stack_entries=-1)

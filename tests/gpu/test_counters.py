@@ -1,0 +1,52 @@
+"""Counter arithmetic tests."""
+
+import pytest
+
+from repro.gpu.counters import Counters
+
+
+def test_ipc_zero_cycles():
+    assert Counters().ipc == 0.0
+
+
+def test_ipc_division():
+    counters = Counters(instructions=100, cycles=50)
+    assert counters.ipc == 2.0
+
+
+def test_offchip_sums_reads_and_writes():
+    counters = Counters(dram_reads=3, dram_writes=4)
+    assert counters.offchip_accesses == 7
+
+
+def test_stack_op_aggregates():
+    counters = Counters(
+        stack_global_loads=1,
+        stack_global_stores=2,
+        stack_shared_loads=3,
+        stack_shared_stores=4,
+    )
+    assert counters.stack_global_ops == 3
+    assert counters.stack_shared_ops == 7
+
+
+def test_l1_hit_rate():
+    counters = Counters(l1_hits=3, l1_misses=1)
+    assert counters.l1_hit_rate == 0.75
+    assert Counters().l1_hit_rate == 0.0
+
+
+def test_add_accumulates_and_maxes_cycles():
+    a = Counters(instructions=10, cycles=100, dram_reads=1)
+    b = Counters(instructions=5, cycles=200, dram_reads=2)
+    a.add(b)
+    assert a.instructions == 15
+    assert a.cycles == 200  # max, not sum
+    assert a.dram_reads == 3
+
+
+def test_as_dict_includes_derived():
+    data = Counters(instructions=10, cycles=5).as_dict()
+    assert data["ipc"] == 2.0
+    assert "offchip_accesses" in data
+    assert data["instructions"] == 10

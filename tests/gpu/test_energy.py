@@ -1,0 +1,87 @@
+"""Energy model tests."""
+
+import pytest
+
+from repro.core.presets import baseline_config, full_stack_config, sms_config
+from repro.gpu.counters import Counters
+from repro.gpu.energy import EnergyModel, compare_energy, estimate_energy
+from repro.gpu.simulator import GPUSimulator
+
+
+def test_empty_counters_only_static():
+    report = estimate_energy(Counters())
+    assert report.total_nj == 0.0
+
+
+def test_static_scales_with_cycles():
+    a = estimate_energy(Counters(cycles=1000))
+    b = estimate_energy(Counters(cycles=2000))
+    assert b.breakdown_nj["static"] == pytest.approx(2 * a.breakdown_nj["static"])
+
+
+def test_dram_dominates_per_access():
+    model = EnergyModel()
+    one_dram = estimate_energy(Counters(dram_reads=1), model)
+    one_shared = estimate_energy(Counters(stack_shared_loads=1), model)
+    assert one_dram.total_nj > 50 * one_shared.total_nj
+
+
+def test_stack_energy_split():
+    counters = Counters(
+        stack_global_loads=10, stack_global_stores=10,
+        dram_reads=15, dram_writes=5,
+        stack_shared_loads=7,
+    )
+    report = estimate_energy(counters)
+    assert report.breakdown_nj["stack_global_dram"] > 0
+    assert report.breakdown_nj["stack_shared"] > 0
+    assert report.stack_nj == pytest.approx(
+        report.breakdown_nj["stack_global_dram"]
+        + report.breakdown_nj["stack_shared"]
+    )
+
+
+def test_stack_dram_capped_by_offchip():
+    # More stack ops than DRAM transactions (cached spills): the stack
+    # share cannot exceed total off-chip accesses.
+    counters = Counters(stack_global_loads=100, dram_reads=10)
+    report = estimate_energy(counters)
+    node = report.breakdown_nj["node_dram"]
+    assert node == 0.0
+
+
+def test_summary_includes_total():
+    report = estimate_energy(Counters(cycles=100, l1_hits=10))
+    assert "TOTAL" in report.summary()
+
+
+def test_compare_energy_ratios():
+    a = estimate_energy(Counters(dram_reads=10))
+    b = estimate_energy(Counters(dram_reads=20))
+    ratios = compare_energy({"a": a, "b": b}, baseline="a")
+    assert ratios["a"] == pytest.approx(1.0)
+    assert ratios["b"] == pytest.approx(2.0)
+
+
+def test_sms_saves_energy_end_to_end(deep_workload):
+    """Converting spill traffic to shared memory must cut energy."""
+    traces = deep_workload.all_traces
+    model = EnergyModel()
+    base = estimate_energy(
+        GPUSimulator(baseline_config(rb_entries=4)).run_traces(traces).counters,
+        model,
+    )
+    sms = estimate_energy(
+        GPUSimulator(sms_config(rb_entries=4)).run_traces(traces).counters,
+        model,
+    )
+    assert sms.total_nj < base.total_nj
+    assert sms.stack_nj < base.stack_nj
+
+
+def test_full_stack_minimizes_stack_energy(deep_workload):
+    traces = deep_workload.all_traces
+    full = estimate_energy(
+        GPUSimulator(full_stack_config()).run_traces(traces).counters
+    )
+    assert full.stack_nj == 0.0

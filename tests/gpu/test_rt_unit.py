@@ -1,0 +1,171 @@
+"""RT unit execution tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.cache import Cache
+from repro.gpu.config import GPUConfig
+from repro.gpu.counters import Counters
+from repro.gpu.dram import Dram
+from repro.gpu.hierarchy import MemoryHierarchy
+from repro.gpu.rt_unit import RTUnit
+from repro.gpu.warp import pack_warps
+from repro.trace.events import NodeKind, RayKind, RayTrace, Step
+
+
+def make_unit(config=None):
+    config = config or GPUConfig()
+    l2 = Cache(size_bytes=config.l2_bytes, line_bytes=128, assoc=16)
+    dram = Dram(latency=config.dram_latency, service_cycles=4)
+    hierarchy = MemoryHierarchy(config, l2=l2, dram=dram)
+    counters = Counters()
+    return RTUnit(config, hierarchy, counters), counters
+
+
+def linear_trace(ray_id, addresses):
+    """A trace that visits a chain of nodes with no stack activity."""
+    trace = RayTrace(ray_id=ray_id, pixel=0, kind=RayKind.PRIMARY)
+    for address in addresses:
+        trace.steps.append(
+            Step(address=address, size_bytes=64, kind=NodeKind.INTERNAL,
+                 tests=2, pushes=[], popped=False)
+        )
+    return trace
+
+
+def push_pop_trace(ray_id, depth):
+    """Push `depth` entries then pop them all back (visiting each)."""
+    trace = RayTrace(ray_id=ray_id, pixel=0, kind=RayKind.PRIMARY)
+    base = 0x1000_0000
+    # One step pushing all addresses (children far-to-near).
+    addresses = [base + 64 * (i + 1) for i in range(depth)]
+    trace.steps.append(
+        Step(address=base, size_bytes=64, kind=NodeKind.INTERNAL,
+             tests=depth, pushes=list(addresses), popped=True)
+    )
+    for i, address in enumerate(reversed(addresses)):
+        trace.steps.append(
+            Step(address=address, size_bytes=64, kind=NodeKind.LEAF,
+                 tests=1, pushes=[], popped=i < depth - 1)
+        )
+    return trace
+
+
+def test_runs_simple_warp_to_completion():
+    unit, counters = make_unit()
+    warps = pack_warps([linear_trace(0, [0x1000, 0x2000, 0x3000])])
+    cycles = unit.run(warps)
+    assert cycles > 0
+    assert counters.warp_steps == 3
+    assert counters.instructions == 3 * 3  # (1 + tests) per step
+
+
+def test_counts_node_fetch_lines():
+    unit, counters = make_unit()
+    warps = pack_warps([linear_trace(0, [0x1000])])
+    unit.run(warps)
+    assert counters.node_fetch_lines == 1
+
+
+def test_pop_verification_catches_corruption():
+    unit, counters = make_unit()
+    trace = push_pop_trace(0, 3)
+    trace.steps[1].address = 0xDEAD  # corrupt: popped value won't match
+    with pytest.raises(SimulationError):
+        unit.run(pack_warps([trace]))
+
+
+def test_push_pop_trace_valid():
+    unit, counters = make_unit()
+    unit.run(pack_warps([push_pop_trace(0, 5)]))
+    assert counters.warp_steps == 6
+
+
+def test_deep_trace_generates_stack_traffic():
+    config = GPUConfig(rb_stack_entries=2)
+    unit, counters = make_unit(config)
+    unit.run(pack_warps([push_pop_trace(0, 10)]))
+    assert counters.stack_global_ops > 0
+
+
+def test_sms_routes_traffic_to_shared():
+    config = GPUConfig(rb_stack_entries=2, sh_stack_entries=16)
+    unit, counters = make_unit(config)
+    unit.run(pack_warps([push_pop_trace(0, 10)]))
+    assert counters.stack_shared_ops > 0
+    assert counters.stack_global_ops == 0
+
+
+def test_full_stack_no_traffic():
+    config = GPUConfig(rb_stack_entries=None)
+    unit, counters = make_unit(config)
+    unit.run(pack_warps([push_pop_trace(0, 30)]))
+    assert counters.stack_global_ops == 0
+    assert counters.stack_shared_ops == 0
+
+
+def test_multiple_warps_complete():
+    unit, counters = make_unit()
+    traces = [linear_trace(i, [0x1000 + 64 * i]) for i in range(80)]
+    cycles = unit.run(pack_warps(traces))
+    assert cycles > 0
+    assert counters.instructions == 80 * 3
+
+
+def test_more_warps_than_slots_queue():
+    config = GPUConfig(max_warps_per_rt_unit=2)
+    unit, counters = make_unit(config)
+    traces = [linear_trace(i, [0x1000]) for i in range(32 * 5)]
+    unit.run(pack_warps(traces))
+    assert counters.warp_steps == 5
+
+
+def test_divergent_lane_lengths():
+    unit, counters = make_unit()
+    traces = [linear_trace(0, [0x1000] * 5), linear_trace(1, [0x2000])]
+    unit.run(pack_warps(traces))
+    assert counters.warp_steps == 5
+
+
+def test_coalescing_reduces_fetch_lines():
+    unit, counters = make_unit()
+    # 32 lanes visiting the same node: one line.
+    traces = [linear_trace(i, [0x1000]) for i in range(32)]
+    unit.run(pack_warps(traces))
+    coalesced = counters.node_fetch_lines
+    unit2, counters2 = make_unit()
+    traces = [linear_trace(i, [0x1000 + i * 128]) for i in range(32)]
+    unit2.run(pack_warps(traces))
+    assert coalesced == 1
+    assert counters2.node_fetch_lines == 32
+
+
+def test_latency_overlap_across_warps():
+    """4 resident warps must finish faster than 4x one warp."""
+    config = GPUConfig()
+    unit, _ = make_unit(config)
+    one = unit.run(pack_warps([linear_trace(0, [0x1000 + i * 4096 for i in range(20)])]))
+    unit4, _ = make_unit(config)
+    traces = []
+    for w in range(4):
+        traces.extend(
+            linear_trace(w * 32 + lane, [0x1000 + (w * 20 + i) * 4096 for i in range(20)])
+            for lane in range(1)
+        )
+    four = unit4.run(pack_warps(traces))
+    assert four < 4 * one
+
+
+def test_realloc_stats_harvested():
+    config = GPUConfig(
+        rb_stack_entries=1, sh_stack_entries=1, intra_warp_realloc=True
+    )
+    unit, counters = make_unit(config)
+    # Lane 1 finishes after one step; lane 0 warms up for two steps and
+    # only then goes deep, so the idle stack is available to borrow.
+    deep = push_pop_trace(0, 8)
+    warmup = linear_trace(0, [0x8000, 0x8040])
+    warmup.steps.extend(deep.steps)
+    traces = [warmup, linear_trace(1, [0x9000])]
+    unit.run(pack_warps(traces))
+    assert counters.borrows >= 1

@@ -1,0 +1,91 @@
+"""Banked shared-memory model tests."""
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.counters import Counters
+from repro.gpu.sharedmem import SharedMemorySim
+from repro.stack.ops import MemoryOp, MemSpace, OpKind
+
+
+@pytest.fixture
+def sim():
+    return SharedMemorySim(GPUConfig())
+
+
+def op(address):
+    return MemoryOp(MemSpace.SHARED, OpKind.LOAD, address)
+
+
+def test_no_ops_no_cost(sim):
+    counters = Counters()
+    assert sim.transaction_cycles([], counters) == 0
+    assert counters.shared_transactions == 0
+
+
+def test_conflict_free_access(sim):
+    # 16 lanes at 8-byte entries across distinct bank pairs.
+    ops = [op(i * 8) for i in range(16)]
+    assert sim.conflict_degree(ops) == 1
+
+
+def test_same_bank_different_words_conflict(sim):
+    # Rows are 128 bytes: same offset in different rows = same banks.
+    ops = [op(0), op(128)]
+    assert sim.conflict_degree(ops) == 2
+
+
+def test_worst_case_degree(sim):
+    ops = [op(row * 128) for row in range(16)]
+    assert sim.conflict_degree(ops) == 16
+
+
+def test_single_op_degree_one(sim):
+    assert sim.conflict_degree([op(64)]) == 1
+
+
+def test_transaction_cost_includes_penalty(sim):
+    config = sim.config
+    counters = Counters()
+    cost = sim.transaction_cycles([op(0), op(128)], counters)
+    assert cost == config.shared_latency + config.bank_conflict_penalty
+    assert counters.bank_conflict_delay_cycles == config.bank_conflict_penalty
+
+
+def test_conflict_free_cost_is_latency(sim):
+    counters = Counters()
+    cost = sim.transaction_cycles([op(i * 8) for i in range(8)], counters)
+    assert cost == sim.config.shared_latency
+    assert counters.bank_conflict_delay_cycles == 0
+
+
+def test_counters_accumulate(sim):
+    counters = Counters()
+    sim.transaction_cycles([op(0), op(128)], counters)
+    sim.transaction_cycles([op(0), op(128), op(256)], counters)
+    penalty = sim.config.bank_conflict_penalty
+    assert counters.shared_transactions == 2
+    assert counters.bank_conflict_delay_cycles == penalty + 2 * penalty
+
+
+def test_bank_histogram(sim):
+    hist = sim.bank_histogram([op(0), op(128)])
+    assert hist[0] == 2  # two distinct words in bank 0
+    assert hist[1] == 2  # 8-byte entries span two banks
+    assert sum(hist) == 4
+
+
+def test_skewed_addresses_reduce_degree(sim):
+    """The optimization's premise, at the address level."""
+    from repro.stack.layout import SharedStackLayout
+    from repro.stack.skew import base_entry_index
+
+    layout = SharedStackLayout(entries=8)
+    lanes = range(0, 32, 2)  # even lanes share banks
+    plain = [op(layout.entry_address(lane, 0)) for lane in lanes]
+    skewed = [
+        op(layout.entry_address(lane, base_entry_index(lane, 8)))
+        for lane in lanes
+    ]
+    assert sim.conflict_degree(plain) == 16
+    assert sim.conflict_degree(skewed) == 2

@@ -1,0 +1,79 @@
+"""Whole-GPU simulator tests."""
+
+import pytest
+
+from repro.core.presets import baseline_config, full_stack_config, sms_config
+from repro.gpu.simulator import GPUSimulator
+
+
+def test_runs_real_workload(small_workload):
+    sim = GPUSimulator(baseline_config())
+    output = sim.run_traces(small_workload.all_traces)
+    assert output.cycles > 0
+    assert output.ipc > 0
+    assert output.counters.instructions > 0
+
+
+def test_warps_distributed_across_sms(deep_workload):
+    sim = GPUSimulator(baseline_config())
+    output = sim.run_traces(deep_workload.all_traces)
+    busy = [c for c in output.per_sm_cycles if c > 0]
+    assert len(busy) > 1
+
+
+def test_cycles_is_slowest_sm(deep_workload):
+    output = GPUSimulator(baseline_config()).run_traces(deep_workload.all_traces)
+    assert output.cycles == max(output.per_sm_cycles)
+
+
+def test_empty_workload():
+    output = GPUSimulator(baseline_config()).run_traces([])
+    assert output.cycles == 0
+    assert output.ipc == 0.0
+
+
+def test_instructions_invariant_across_configs(deep_workload):
+    """IPC comparisons require identical instruction counts."""
+    traces = deep_workload.all_traces
+    outputs = [
+        GPUSimulator(config).run_traces(traces)
+        for config in (baseline_config(), sms_config(), full_stack_config())
+    ]
+    counts = {o.counters.instructions for o in outputs}
+    assert len(counts) == 1
+
+
+def test_full_stack_fastest(deep_workload):
+    traces = deep_workload.all_traces
+    base = GPUSimulator(baseline_config()).run_traces(traces)
+    full = GPUSimulator(full_stack_config()).run_traces(traces)
+    assert full.cycles <= base.cycles
+
+
+def test_sms_between_baseline_and_full(deep_workload):
+    traces = deep_workload.all_traces
+    base = GPUSimulator(baseline_config()).run_traces(traces)
+    sms = GPUSimulator(sms_config()).run_traces(traces)
+    full = GPUSimulator(full_stack_config()).run_traces(traces)
+    assert full.ipc >= sms.ipc >= base.ipc
+
+
+def test_smaller_rb_more_offchip(deep_workload):
+    traces = deep_workload.all_traces
+    small = GPUSimulator(baseline_config(rb_entries=2)).run_traces(traces)
+    large = GPUSimulator(baseline_config(rb_entries=16)).run_traces(traces)
+    assert small.offchip_accesses > large.offchip_accesses
+
+
+def test_deterministic(deep_workload):
+    traces = deep_workload.all_traces
+    a = GPUSimulator(baseline_config()).run_traces(traces)
+    b = GPUSimulator(baseline_config()).run_traces(traces)
+    assert a.cycles == b.cycles
+    assert a.counters.as_dict() == b.counters.as_dict()
+
+
+def test_verify_pops_enabled_catches_nothing_on_valid_traces(deep_workload):
+    sim = GPUSimulator(sms_config(), verify_pops=True)
+    output = sim.run_traces(deep_workload.all_traces)
+    assert output.cycles > 0

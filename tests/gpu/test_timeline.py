@@ -1,0 +1,77 @@
+"""Timeline recording and Chrome-trace export tests."""
+
+import json
+
+import pytest
+
+from repro.core.presets import baseline_config
+from repro.gpu.timeline import Timeline, TimelineEvent, record_timeline
+
+
+@pytest.fixture(scope="module")
+def timeline(deep_workload):
+    return record_timeline(deep_workload.all_traces, baseline_config())
+
+
+def test_events_recorded(timeline):
+    assert timeline.events
+    assert timeline.total_cycles > 0
+
+
+def test_events_well_formed(timeline):
+    for event in timeline.events:
+        assert event.end >= event.start
+        assert 1 <= event.active_lanes <= 32
+        assert event.duration >= 1
+
+
+def test_warp_events_sequential(timeline):
+    """One warp's iterations never overlap themselves."""
+    warp_ids = {e.warp_id for e in timeline.events}
+    for warp_id in warp_ids:
+        events = timeline.events_for_warp(warp_id)
+        for a, b in zip(events, events[1:]):
+            assert a.start <= b.start
+
+
+def test_concurrency_bounded_by_slots(timeline):
+    """At most max_warps_per_rt_unit warps in flight at once."""
+    probe_points = [e.start for e in timeline.events[::7]]
+    for cycle in probe_points:
+        assert timeline.concurrency_at(cycle) <= 4
+
+
+def test_latency_hiding_visible(timeline):
+    """At least sometimes, multiple warps overlap in time."""
+    overlaps = max(
+        timeline.concurrency_at(e.start) for e in timeline.events
+    )
+    assert overlaps >= 2
+
+
+def test_chrome_trace_format(timeline):
+    trace = timeline.to_chrome_trace()
+    assert "traceEvents" in trace
+    event = trace["traceEvents"][0]
+    assert event["ph"] == "X"
+    assert set(event) >= {"name", "ts", "dur", "pid", "tid", "args"}
+
+
+def test_save_roundtrip(timeline, tmp_path):
+    path = timeline.save(tmp_path / "trace.json")
+    data = json.loads(path.read_text())
+    assert len(data["traceEvents"]) == len(timeline.events)
+
+
+def test_empty_timeline():
+    timeline = Timeline()
+    assert timeline.total_cycles == 0
+    assert timeline.to_chrome_trace()["traceEvents"] == []
+    assert timeline.concurrency_at(0) == 0
+
+
+def test_event_duration_floor():
+    event = TimelineEvent(
+        warp_id=0, sm_id=0, start=5, end=5, active_lanes=1, stack_ops=0
+    )
+    assert event.duration == 1

@@ -1,0 +1,64 @@
+"""Cross-layer integration: scene -> BVH -> trace -> timing, with the
+timing model's pop verification acting as a whole-pipeline checksum."""
+
+import pytest
+
+from repro import named_config, simulate, time_traces, trace_scene
+from repro.bvh.api import build_bvh
+from repro.bvh.validate import validate_wide
+from repro.core.api import time_traces as time_traces_api
+from repro.trace.depth import depth_statistics
+from repro.workloads.lumibench import load_scene
+
+
+@pytest.mark.parametrize("scene_name", ["SHIP", "BUNNY", "SPNZA"])
+def test_scene_to_ipc_pipeline(scene_name):
+    scene = load_scene(scene_name)
+    bvh = build_bvh(scene)
+    validate_wide(bvh)
+    workload = trace_scene(scene, width=8, height=8, max_bounces=1, bvh=bvh)
+    for trace in workload.all_traces:
+        trace.validate()
+    # verify_pops=True makes the timing run assert LIFO order end to end.
+    result = time_traces(
+        workload.all_traces, named_config("RB_2+SH_2+SK+RA"),
+        scene_name=scene_name, verify_pops=True,
+    )
+    assert result.ipc > 0
+
+
+def test_pop_verification_across_every_architecture(deep_workload):
+    for name in ["RB_2", "RB_8", "RB_FULL", "RB_2+SH_2", "RB_2+SH_2+SK",
+                 "RB_2+SH_2+SK+RA", "RB_8+SH_8+SK+RA"]:
+        result = time_traces_api(
+            deep_workload.all_traces, named_config(name),
+            scene_name="deep", verify_pops=True,
+        )
+        assert result.cycles > 0
+
+
+def test_simulate_matches_two_phase(small_scene):
+    combined = simulate(small_scene, named_config("RB_8"), width=6, height=6)
+    workload = trace_scene(small_scene, width=6, height=6)
+    staged = time_traces_api(
+        workload.all_traces, named_config("RB_8"), scene_name="small"
+    )
+    assert combined.cycles == staged.cycles
+    assert combined.counters.as_dict() == staged.counters.as_dict()
+
+
+def test_depth_stats_attached_to_results(small_scene):
+    result = simulate(small_scene, width=6, height=6)
+    workload = trace_scene(small_scene, width=6, height=6)
+    expected = depth_statistics(workload.all_traces)
+    assert result.depth_stats.max_depth == expected.max_depth
+    assert result.depth_stats.sample_count == expected.sample_count
+
+
+def test_hits_independent_of_timing_config(small_scene):
+    """Timing configuration must never change functional results."""
+    workload_a = trace_scene(small_scene, width=6, height=6, seed=1)
+    workload_b = trace_scene(small_scene, width=6, height=6, seed=1)
+    hits_a = [t.hit_prim for t in workload_a.all_traces]
+    hits_b = [t.hit_prim for t in workload_b.all_traces]
+    assert hits_a == hits_b

@@ -1,0 +1,104 @@
+"""Randomized whole-pipeline fuzzing.
+
+Generates random small scenes and random stack configurations, then runs
+the full pipeline with pop verification on — any LIFO corruption, BVH
+inconsistency or trace imbalance fails loudly.  Complements the
+hypothesis tests, which fuzz each layer in isolation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bvh.api import build_bvh
+from repro.bvh.validate import validate_wide
+from repro.core.api import time_traces
+from repro.gpu.config import GPUConfig
+from repro.scene.generators import (
+    blob_mesh,
+    box_mesh,
+    grid_mesh,
+    merge_meshes,
+    scatter_mesh,
+    sliver_mesh,
+)
+from repro.scene.scene import Scene
+from repro.trace.path import generate_workload
+
+GENERATOR_POOL = [
+    lambda rng: scatter_mesh(
+        int(rng.integers(20, 400)),
+        bounds_size=float(rng.uniform(4, 16)),
+        triangle_size=float(rng.uniform(0.05, 0.8)),
+        clusters=int(rng.integers(1, 8)),
+        seed=int(rng.integers(0, 10**6)),
+    ),
+    lambda rng: grid_mesh(
+        int(rng.integers(2, 12)),
+        int(rng.integers(2, 12)),
+        height_amplitude=float(rng.uniform(0, 2)),
+        seed=int(rng.integers(0, 10**6)),
+    ),
+    lambda rng: blob_mesh(
+        rng.uniform(-4, 4, 3),
+        float(rng.uniform(0.5, 3.0)),
+        subdivisions=int(rng.integers(1, 3)),
+        bumpiness=float(rng.uniform(0, 0.4)),
+        seed=int(rng.integers(0, 10**6)),
+    ),
+    lambda rng: sliver_mesh(
+        int(rng.integers(5, 80)),
+        length=float(rng.uniform(2, 10)),
+        seed=int(rng.integers(0, 10**6)),
+    ),
+    lambda rng: box_mesh(rng.uniform(-4, 4, 3), rng.uniform(0.5, 3.0, 3)),
+]
+
+
+def random_scene(rng) -> Scene:
+    parts = [
+        GENERATOR_POOL[int(rng.integers(0, len(GENERATOR_POOL)))](rng)
+        for _ in range(int(rng.integers(1, 4)))
+    ]
+    return Scene(f"fuzz{int(rng.integers(0, 10**6))}", merge_meshes(parts))
+
+
+def random_config(rng) -> GPUConfig:
+    rb = int(rng.choice([1, 2, 3, 4, 8]))
+    sh = int(rng.choice([0, 1, 2, 4, 8]))
+    if sh == 0:
+        return GPUConfig(rb_stack_entries=rb, sh_stack_entries=0)
+    return GPUConfig(
+        rb_stack_entries=rb,
+        sh_stack_entries=sh,
+        skewed_bank_access=bool(rng.integers(0, 2)),
+        intra_warp_realloc=bool(rng.integers(0, 2)),
+        max_borrows=int(rng.integers(1, 6)),
+        max_flushes=int(rng.integers(1, 4)),
+    )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_pipeline(seed):
+    rng = np.random.default_rng(1000 + seed)
+    scene = random_scene(rng)
+    bvh = build_bvh(
+        scene,
+        width=int(rng.choice([2, 4, 6, 8])),
+        max_leaf_size=int(rng.integers(1, 6)),
+    )
+    validate_wide(bvh)
+    workload = generate_workload(
+        bvh,
+        width=int(rng.integers(4, 9)),
+        height=int(rng.integers(4, 9)),
+        max_bounces=int(rng.integers(0, 3)),
+        seed=int(rng.integers(0, 10**6)),
+    )
+    for trace in workload.all_traces:
+        trace.validate()
+    config = random_config(rng)
+    result = time_traces(
+        workload.all_traces, config, scene_name=scene.name, verify_pops=True
+    )
+    assert result.cycles > 0
+    assert result.counters.instructions > 0

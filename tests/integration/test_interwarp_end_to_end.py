@@ -1,0 +1,54 @@
+"""End-to-end inter-warp reallocation through the full simulator."""
+
+import pytest
+
+from repro.core.api import time_traces
+from repro.core.presets import named_config, sms_config
+
+
+def test_interwarp_simulates_with_pop_verification(deep_workload):
+    traces = deep_workload.all_traces
+    result = time_traces(
+        traces,
+        named_config("RB_2+SH_2+SK+RA+IW"),
+        scene_name="deep",
+        verify_pops=True,
+    )
+    assert result.cycles > 0
+    assert result.label == "RB_2+SH_2+SK+RA+IW"
+
+
+def test_interwarp_never_slower_when_starved(deep_workload):
+    """With tiny stacks, unit-wide borrowing should help (or tie)."""
+    traces = deep_workload.all_traces
+    intra = time_traces(
+        traces, sms_config(rb_entries=2, sh_entries=2), scene_name="deep"
+    )
+    inter = time_traces(
+        traces,
+        sms_config(rb_entries=2, sh_entries=2, inter_warp=True),
+        scene_name="deep",
+    )
+    assert inter.ipc >= intra.ipc * 0.98
+    # Inter-warp borrowing reduces global stack traffic.
+    assert inter.counters.stack_global_ops <= intra.counters.stack_global_ops
+
+
+def test_interwarp_instructions_invariant(deep_workload):
+    traces = deep_workload.all_traces
+    intra = time_traces(traces, sms_config(), scene_name="deep")
+    inter = time_traces(
+        traces, sms_config(inter_warp=True), scene_name="deep"
+    )
+    assert intra.counters.instructions == inter.counters.instructions
+
+
+def test_interwarp_borrows_counted(deep_workload):
+    traces = deep_workload.all_traces
+    result = time_traces(
+        traces,
+        sms_config(rb_entries=1, sh_entries=1, inter_warp=True),
+        scene_name="deep",
+        verify_pops=True,
+    )
+    assert result.counters.borrows > 0

@@ -1,0 +1,51 @@
+"""Property-based equivalence of all traversal algorithms.
+
+Every traversal implementation in the package — per-ray DFS, stackless
+restart-trail, the short-stack hybrid, and packet traversal — must agree
+on the closest hit for arbitrary scenes and rays.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bvh.api import build_bvh
+from repro.geometry.ray import Ray
+from repro.geometry.vec import normalize
+from repro.scene.generators import scatter_mesh
+from repro.scene.scene import Scene
+from repro.trace.packet import packet_trace
+from repro.trace.restart import restart_trail_trace, short_stack_restart_trace
+from repro.trace.tracer import Tracer
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    scene_seed=st.integers(min_value=0, max_value=500),
+    ray_seed=st.integers(min_value=0, max_value=500),
+    prim_count=st.integers(min_value=2, max_value=120),
+    width=st.sampled_from([2, 4, 6]),
+    capacity=st.sampled_from([0, 1, 3]),
+)
+def test_all_traversals_agree(scene_seed, ray_seed, prim_count, width, capacity):
+    scene = Scene(
+        "fuzz",
+        scatter_mesh(prim_count, bounds_size=6.0, triangle_size=0.6,
+                     seed=scene_seed),
+    )
+    bvh = build_bvh(scene, width=width)
+    tracer = Tracer(bvh)
+    rng = np.random.default_rng(ray_seed)
+    rays = [
+        Ray(origin=rng.uniform(-8, 8, 3), direction=normalize(rng.normal(size=3)))
+        for _ in range(4)
+    ]
+    packet = packet_trace(bvh, rays)
+    for i, ray in enumerate(rays):
+        expected = tracer.trace(ray).hit_prim
+        assert restart_trail_trace(bvh, ray).hit_prim == expected
+        assert (
+            short_stack_restart_trace(bvh, ray, stack_entries=capacity).hit_prim
+            == expected
+        )
+        assert packet.hit_prims[i] == expected

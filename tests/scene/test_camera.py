@@ -1,0 +1,98 @@
+"""Pinhole camera tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SceneError
+from repro.geometry.vec import normalize, vec3
+from repro.scene.camera import PinholeCamera
+
+
+def make_camera(**kwargs):
+    defaults = dict(
+        position=vec3(0, 0, 5), look_at=vec3(0, 0, 0), width=8, height=8
+    )
+    defaults.update(kwargs)
+    return PinholeCamera(**defaults)
+
+
+def test_center_ray_points_at_target():
+    cam = make_camera()
+    ray = cam.ray_for_pixel(3, 3)  # near center of an 8x8 image
+    # The central rays should point roughly along -z.
+    assert ray.direction[2] < -0.9
+
+
+def test_ray_directions_unit_length():
+    cam = make_camera()
+    for _, ray in cam.rays():
+        assert np.linalg.norm(ray.direction) == pytest.approx(1.0)
+
+
+def test_pixel_count():
+    assert make_camera(width=4, height=6).pixel_count == 24
+
+
+def test_rays_cover_all_pixels_in_order():
+    cam = make_camera(width=3, height=2)
+    indices = [index for index, _ in cam.rays()]
+    assert indices == list(range(6))
+
+
+def test_out_of_range_pixel_raises():
+    cam = make_camera()
+    with pytest.raises(SceneError):
+        cam.ray_for_pixel(8, 0)
+    with pytest.raises(SceneError):
+        cam.ray_for_pixel(0, -1)
+
+
+def test_invalid_resolution_raises():
+    with pytest.raises(SceneError):
+        make_camera(width=0)
+
+
+def test_invalid_fov_raises():
+    with pytest.raises(SceneError):
+        make_camera(vfov_degrees=180.0)
+    with pytest.raises(SceneError):
+        make_camera(vfov_degrees=0.0)
+
+
+def test_top_row_rays_point_up():
+    cam = make_camera()
+    top = cam.ray_for_pixel(4, 0)
+    bottom = cam.ray_for_pixel(4, 7)
+    assert top.direction[1] > bottom.direction[1]
+
+
+def test_left_column_rays_point_left():
+    cam = make_camera()
+    left = cam.ray_for_pixel(0, 4)
+    right = cam.ray_for_pixel(7, 4)
+    assert left.direction[0] < right.direction[0]
+
+
+def test_jitter_changes_direction():
+    cam = make_camera()
+    a = cam.ray_for_pixel(2, 2, jitter=(0.1, 0.1))
+    b = cam.ray_for_pixel(2, 2, jitter=(0.9, 0.9))
+    assert not np.allclose(a.direction, b.direction)
+
+
+def test_rays_originate_at_camera():
+    cam = make_camera()
+    for _, ray in cam.rays():
+        assert np.allclose(ray.origin, cam.position)
+
+
+def test_wide_image_horizontal_spread():
+    wide = make_camera(width=16, height=4)
+    left = wide.ray_for_pixel(0, 2)
+    right = wide.ray_for_pixel(15, 2)
+    # Aspect > 1 means horizontal field wider than vertical.
+    spread_x = right.direction[0] - left.direction[0]
+    top = wide.ray_for_pixel(8, 0)
+    bottom = wide.ray_for_pixel(8, 3)
+    spread_y = top.direction[1] - bottom.direction[1]
+    assert spread_x > spread_y

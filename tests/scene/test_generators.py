@@ -1,0 +1,142 @@
+"""Procedural mesh generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SceneError
+from repro.scene.generators import (
+    blob_mesh,
+    box_mesh,
+    canopy_mesh,
+    grid_mesh,
+    merge_meshes,
+    scatter_mesh,
+    sliver_mesh,
+)
+
+
+def test_grid_mesh_triangle_count():
+    assert grid_mesh(4, 3).shape == (4 * 3 * 2, 3, 3)
+
+
+def test_grid_mesh_flat_when_no_amplitude():
+    mesh = grid_mesh(3, 3, height_amplitude=0.0)
+    assert np.allclose(mesh[:, :, 1], 0.0)
+
+
+def test_grid_mesh_displaced_with_amplitude():
+    mesh = grid_mesh(3, 3, height_amplitude=1.0, seed=5)
+    assert np.abs(mesh[:, :, 1]).max() > 0.0
+
+
+def test_grid_mesh_deterministic():
+    a = grid_mesh(3, 3, height_amplitude=1.0, seed=5)
+    b = grid_mesh(3, 3, height_amplitude=1.0, seed=5)
+    assert np.array_equal(a, b)
+
+
+def test_grid_mesh_seed_changes_output():
+    a = grid_mesh(3, 3, height_amplitude=1.0, seed=5)
+    b = grid_mesh(3, 3, height_amplitude=1.0, seed=6)
+    assert not np.array_equal(a, b)
+
+
+def test_grid_mesh_invalid_raises():
+    with pytest.raises(SceneError):
+        grid_mesh(0, 3)
+
+
+def test_box_mesh_twelve_triangles():
+    assert box_mesh((0, 0, 0), (1, 1, 1)).shape == (12, 3, 3)
+
+
+def test_box_mesh_bounds():
+    mesh = box_mesh((1, 2, 3), (2, 4, 6))
+    flat = mesh.reshape(-1, 3)
+    assert np.allclose(flat.min(axis=0), [0, 0, 0])
+    assert np.allclose(flat.max(axis=0), [2, 4, 6])
+
+
+def test_box_mesh_zero_extent_raises():
+    with pytest.raises(SceneError):
+        box_mesh((0, 0, 0), (1, 0, 1))
+
+
+def test_blob_mesh_counts_scale_with_subdivision():
+    base = blob_mesh((0, 0, 0), 1.0, subdivisions=1)
+    finer = blob_mesh((0, 0, 0), 1.0, subdivisions=2)
+    assert len(finer) == 4 * len(base)
+
+
+def test_blob_mesh_on_sphere_without_bumpiness():
+    mesh = blob_mesh((0, 0, 0), 2.0, subdivisions=2, bumpiness=0.0)
+    radii = np.linalg.norm(mesh.reshape(-1, 3), axis=1)
+    assert np.allclose(radii, 2.0, atol=1e-9)
+
+
+def test_blob_mesh_bumpiness_displaces():
+    mesh = blob_mesh((0, 0, 0), 2.0, subdivisions=2, bumpiness=0.3, seed=1)
+    radii = np.linalg.norm(mesh.reshape(-1, 3), axis=1)
+    assert radii.std() > 0.01
+
+
+def test_blob_mesh_invalid_radius():
+    with pytest.raises(SceneError):
+        blob_mesh((0, 0, 0), 0.0)
+
+
+def test_scatter_mesh_count_and_bounds():
+    mesh = scatter_mesh(100, bounds_size=4.0, triangle_size=0.1, seed=3)
+    assert mesh.shape == (100, 3, 3)
+
+
+def test_scatter_mesh_clustered_tighter_than_uniform():
+    uniform = scatter_mesh(500, bounds_size=20.0, clusters=1, seed=4)
+    clustered = scatter_mesh(500, bounds_size=20.0, clusters=3, seed=4)
+    # Clustered scenes concentrate mass: mean pairwise distance shrinks.
+    def spread(mesh):
+        cents = mesh.mean(axis=1)
+        return cents.std(axis=0).mean()
+
+    assert spread(clustered) < spread(uniform)
+
+
+def test_scatter_mesh_invalid_count():
+    with pytest.raises(SceneError):
+        scatter_mesh(0)
+
+
+def test_sliver_mesh_long_and_thin():
+    mesh = sliver_mesh(50, length=8.0, thickness=0.02, seed=5)
+    edge_long = np.linalg.norm(mesh[:, 1] - mesh[:, 0], axis=1)
+    edge_thin = np.linalg.norm(mesh[:, 2] - mesh[:, 1], axis=1)
+    assert np.allclose(edge_long, 8.0)
+    assert np.allclose(edge_thin, 0.02, atol=1e-9)
+
+
+def test_sliver_mesh_invalid_count():
+    with pytest.raises(SceneError):
+        sliver_mesh(0)
+
+
+def test_canopy_mesh_counts():
+    mesh = canopy_mesh(3, 50, seed=6)
+    # 2 trunk slivers + 50 leaves per trunk.
+    assert len(mesh) == 3 * (2 + 50)
+
+
+def test_canopy_mesh_invalid():
+    with pytest.raises(SceneError):
+        canopy_mesh(0, 10)
+
+
+def test_merge_meshes_concatenates():
+    a = box_mesh((0, 0, 0), (1, 1, 1))
+    b = grid_mesh(2, 2)
+    merged = merge_meshes([a, b])
+    assert len(merged) == len(a) + len(b)
+
+
+def test_merge_meshes_empty_inputs():
+    assert merge_meshes([]).shape == (0, 3, 3)
+    assert merge_meshes([np.zeros((0, 3, 3))]).shape == (0, 3, 3)

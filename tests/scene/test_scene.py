@@ -1,0 +1,106 @@
+"""Scene container tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SceneError
+from repro.geometry.triangle import Triangle
+from repro.geometry.vec import vec3
+from repro.scene.scene import Scene
+
+
+def simple_scene():
+    verts = np.array(
+        [
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0]],
+            [[2, 0, 0], [3, 0, 0], [2, 1, 0]],
+        ],
+        dtype=np.float64,
+    )
+    return Scene("two", verts)
+
+
+def test_triangle_count():
+    assert simple_scene().triangle_count == 2
+
+
+def test_bad_shape_raises():
+    with pytest.raises(SceneError):
+        Scene("bad", np.zeros((3, 2, 3)))
+
+
+def test_triangle_materialization():
+    tri = simple_scene().triangle(1)
+    assert isinstance(tri, Triangle)
+    assert tri.prim_id == 1
+    assert np.allclose(tri.a, [2, 0, 0])
+
+
+def test_triangle_out_of_range():
+    with pytest.raises(SceneError):
+        simple_scene().triangle(2)
+    with pytest.raises(SceneError):
+        simple_scene().triangle(-1)
+
+
+def test_triangles_lists_all():
+    tris = simple_scene().triangles()
+    assert [t.prim_id for t in tris] == [0, 1]
+
+
+def test_bounds_cover_all_vertices():
+    scene = simple_scene()
+    box = scene.bounds()
+    for tri in scene.triangles():
+        for vertex in tri.vertices():
+            assert box.contains_point(vertex)
+
+
+def test_bounds_cached_identity():
+    scene = simple_scene()
+    assert scene.bounds() is scene.bounds()
+
+
+def test_empty_scene_bounds_empty():
+    scene = Scene("empty", np.zeros((0, 3, 3)))
+    assert scene.bounds().is_empty()
+    assert scene.triangle_count == 0
+
+
+def test_centroids_shape_and_values():
+    cents = simple_scene().centroids()
+    assert cents.shape == (2, 3)
+    assert np.allclose(cents[0], [1 / 3, 1 / 3, 0])
+
+
+def test_default_light_above_scene():
+    scene = simple_scene()
+    assert scene.light_position[1] > scene.bounds().hi[1]
+
+
+def test_from_triangles_roundtrip():
+    tris = [
+        Triangle(a=vec3(0, 0, 0), b=vec3(1, 0, 0), c=vec3(0, 1, 0)),
+        Triangle(a=vec3(5, 5, 5), b=vec3(6, 5, 5), c=vec3(5, 6, 5)),
+    ]
+    scene = Scene.from_triangles("rt", tris)
+    assert scene.triangle_count == 2
+    assert np.allclose(scene.triangle(1).a, [5, 5, 5])
+
+
+def test_validate_rejects_nan():
+    verts = np.zeros((1, 3, 3))
+    verts[0, 0, 0] = np.nan
+    scene = Scene("nan", verts)
+    with pytest.raises(SceneError):
+        scene.validate()
+
+
+def test_validate_passes_finite():
+    simple_scene().validate()
+
+
+def test_triangle_bounds_single():
+    box = simple_scene().triangle_bounds(0)
+    assert np.allclose(box.lo, [0, 0, 0])
+    assert np.allclose(box.hi, [1, 1, 0])

@@ -1,0 +1,134 @@
+"""Baseline short-stack tests (paper Fig. 3 semantics)."""
+
+import pytest
+
+from repro.errors import StackError
+from repro.stack.baseline import BaselineStack
+from repro.stack.ops import MemSpace, OpKind
+
+
+def test_push_within_capacity_no_traffic():
+    stack = BaselineStack(rb_entries=4)
+    for value in range(4):
+        activity = stack.push(0, value)
+        assert activity.ops == []
+    assert stack.depth(0) == 4
+
+
+def test_overflow_spills_oldest():
+    stack = BaselineStack(rb_entries=4)
+    for value in range(5):
+        activity = stack.push(0, value)
+    assert len(activity.ops) == 1
+    op = activity.ops[0]
+    assert op.space is MemSpace.GLOBAL
+    assert op.kind is OpKind.STORE
+    assert stack.contents(0) == [0, 1, 2, 3, 4]
+
+
+def test_figure3_walkthrough():
+    """The paper's BVH6 example: 4-entry stack, push A..E, pop E, reload A."""
+    stack = BaselineStack(rb_entries=4)
+    for value in ["A", "B", "C", "D"]:
+        assert stack.push(0, value).ops == []
+    spill = stack.push(0, "E")  # A spills to off-chip
+    assert [op.kind for op in spill.ops] == [OpKind.STORE]
+    value, reload = stack.pop(0)  # pop E, reload A
+    assert value == "E"
+    assert [op.kind for op in reload.ops] == [OpKind.LOAD]
+    assert stack.contents(0) == ["A", "B", "C", "D"]
+
+
+def test_pop_order_lifo_across_spills():
+    stack = BaselineStack(rb_entries=2)
+    for value in range(7):
+        stack.push(0, value)
+    popped = [stack.pop(0)[0] for _ in range(7)]
+    assert popped == [6, 5, 4, 3, 2, 1, 0]
+
+
+def test_pop_empty_raises():
+    stack = BaselineStack(rb_entries=2)
+    with pytest.raises(StackError):
+        stack.pop(0)
+
+
+def test_eager_reload_keeps_rb_full():
+    stack = BaselineStack(rb_entries=3)
+    for value in range(6):
+        stack.push(0, value)
+    stack.pop(0)
+    # After the pop, one spilled value must have been reloaded.
+    assert len(stack._rb[0]) == 3
+    assert len(stack._spilled[0]) == 2
+
+
+def test_lanes_independent():
+    stack = BaselineStack(rb_entries=2)
+    stack.push(0, 10)
+    stack.push(1, 20)
+    assert stack.depth(0) == 1
+    assert stack.depth(1) == 1
+    assert stack.pop(1)[0] == 20
+    assert stack.pop(0)[0] == 10
+
+
+def test_spill_addresses_differ_across_lanes():
+    stack = BaselineStack(rb_entries=1)
+    a = stack.push(0, 1)
+    assert a.ops == []
+    spill0 = stack.push(0, 2).ops[0]
+    stack.push(1, 1)
+    spill1 = stack.push(1, 2).ops[0]
+    assert spill0.address != spill1.address
+
+
+def test_spill_addresses_differ_across_warps():
+    warp0 = BaselineStack(rb_entries=1, warp_index=0)
+    warp1 = BaselineStack(rb_entries=1, warp_index=1)
+    warp0.push(0, 1)
+    warp1.push(0, 1)
+    op0 = warp0.push(0, 2).ops[0]
+    op1 = warp1.push(0, 2).ops[0]
+    assert op0.address != op1.address
+
+
+def test_finish_clears_lane():
+    stack = BaselineStack(rb_entries=2)
+    for value in range(5):
+        stack.push(0, value)
+    stack.finish(0)
+    assert stack.depth(0) == 0
+    with pytest.raises(StackError):
+        stack.pop(0)
+
+
+def test_reset_clears_all_lanes():
+    stack = BaselineStack(rb_entries=2)
+    stack.push(0, 1)
+    stack.push(5, 2)
+    stack.reset()
+    assert stack.depth(0) == 0
+    assert stack.depth(5) == 0
+
+
+def test_invalid_lane_raises():
+    stack = BaselineStack(rb_entries=2, warp_size=8)
+    with pytest.raises(StackError):
+        stack.push(8, 1)
+
+
+def test_invalid_rb_entries():
+    with pytest.raises(StackError):
+        BaselineStack(rb_entries=0)
+
+
+def test_interleaved_spill_layout():
+    """Consecutive spill indices of one lane land in different lines."""
+    stack = BaselineStack(rb_entries=1)
+    stack.push(0, 0)
+    addresses = []
+    for value in range(1, 4):
+        addresses.append(stack.push(0, value).ops[0].address)
+    strides = {b - a for a, b in zip(addresses, addresses[1:])}
+    assert strides == {32 * 8}  # warp_size * ENTRY_BYTES

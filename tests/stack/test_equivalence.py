@@ -1,0 +1,127 @@
+"""Property-based LIFO equivalence: every stack architecture must pop
+exactly what the unbounded reference stack pops, for arbitrary operation
+sequences — including lane finishes that trigger reallocation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stack.baseline import BaselineStack
+from repro.stack.full import FullStack
+from repro.stack.reference import ReferenceStack
+from repro.stack.sms import SmsStack
+
+# An operation is (kind, lane, value): kind 0 = push, 1 = pop, 2 = finish.
+operations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=10**6),
+    ),
+    max_size=200,
+)
+
+
+def apply_ops(model, reference, ops):
+    """Replay ops on both models; pops must agree."""
+    from repro.stack.sms import SmsStack
+
+    check = model.check_invariants if isinstance(model, SmsStack) else None
+    finished = set()
+    for i, (kind, lane, value) in enumerate(ops):
+        if kind == 0 and lane not in finished:
+            model.push(lane, value)
+            reference.push(lane, value)
+        elif kind == 1 and lane not in finished:
+            if reference.depth(lane) == 0:
+                continue
+            expected, _ = reference.pop(lane)
+            actual, _ = model.pop(lane)
+            assert actual == expected
+        elif kind == 2:
+            model.finish(lane)
+            reference.finish(lane)
+            finished.add(lane)
+        if check is not None and i % 7 == 0:
+            check()
+    if check is not None:
+        check()
+    # Remaining contents must agree too.
+    for lane in range(8):
+        assert model.contents(lane) == reference.contents(lane)
+        assert model.depth(lane) == reference.depth(lane)
+
+
+@settings(max_examples=150, deadline=None)
+@given(operations)
+def test_full_stack_equivalent(ops):
+    apply_ops(FullStack(warp_size=8), ReferenceStack(warp_size=8), ops)
+
+
+@settings(max_examples=150, deadline=None)
+@given(operations, st.integers(min_value=1, max_value=9))
+def test_baseline_equivalent(ops, rb_entries):
+    apply_ops(
+        BaselineStack(rb_entries=rb_entries, warp_size=8),
+        ReferenceStack(warp_size=8),
+        ops,
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    operations,
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=5),
+    st.booleans(),
+)
+def test_sms_equivalent(ops, rb_entries, sh_entries, skewed):
+    apply_ops(
+        SmsStack(
+            rb_entries=rb_entries,
+            sh_entries=sh_entries,
+            skewed=skewed,
+            warp_size=8,
+        ),
+        ReferenceStack(warp_size=8),
+        ops,
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    operations,
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=3),
+)
+def test_sms_realloc_equivalent(ops, rb_entries, sh_entries, max_borrows, max_flushes):
+    apply_ops(
+        SmsStack(
+            rb_entries=rb_entries,
+            sh_entries=sh_entries,
+            skewed=True,
+            realloc=True,
+            max_borrows=max_borrows,
+            max_flushes=max_flushes,
+            warp_size=8,
+        ),
+        ReferenceStack(warp_size=8),
+        ops,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(operations)
+def test_sms_realloc_heavy_finish_pressure(ops):
+    """Pre-finish most lanes so borrowing dominates from the start."""
+    model = SmsStack(
+        rb_entries=1, sh_entries=1, skewed=True, realloc=True, warp_size=8
+    )
+    reference = ReferenceStack(warp_size=8)
+    for lane in range(2, 8):
+        model.finish(lane)
+        reference.finish(lane)
+    filtered = [(k, lane % 2, v) for k, lane, v in ops]
+    apply_ops(model, reference, filtered)

@@ -1,0 +1,57 @@
+"""Stack factory tests."""
+
+import pytest
+
+from repro.core.presets import baseline_config, full_stack_config, sms_config
+from repro.stack.baseline import BaselineStack
+from repro.stack.factory import make_stack_model
+from repro.stack.full import FullStack
+from repro.stack.sms import SmsStack
+
+
+def test_full_config_builds_full_stack():
+    assert isinstance(make_stack_model(full_stack_config()), FullStack)
+
+
+def test_baseline_config_builds_baseline():
+    model = make_stack_model(baseline_config(rb_entries=4))
+    assert isinstance(model, BaselineStack)
+    assert model.rb_entries == 4
+
+
+def test_sms_config_builds_sms():
+    config = sms_config(rb_entries=8, sh_entries=16, skewed=True, realloc=True)
+    model = make_stack_model(config)
+    assert isinstance(model, SmsStack)
+    assert model.rb_entries == 8
+    assert model.sh_entries == 16
+    assert model.skewed
+    assert model.realloc
+
+
+def test_sms_flags_propagate_off():
+    model = make_stack_model(sms_config(skewed=False, realloc=False))
+    assert not model.skewed
+    assert not model.realloc
+
+
+def test_warp_slots_get_distinct_shared_blocks():
+    config = sms_config()
+    slot0 = make_stack_model(config, warp_index=0)
+    slot1 = make_stack_model(config, warp_index=1)
+    assert slot1.layout.base_address == slot0.layout.base_address + slot0.layout.total_bytes
+
+
+def test_shared_blocks_wrap_per_sm():
+    """Slot indices repeat per SM; shared memory is per-SM."""
+    config = sms_config()
+    sm0_slot0 = make_stack_model(config, warp_index=0)
+    sm1_slot0 = make_stack_model(config, warp_index=config.max_warps_per_rt_unit)
+    assert sm0_slot0.layout.base_address == sm1_slot0.layout.base_address
+
+
+def test_global_spill_regions_unique_across_sms():
+    config = sms_config()
+    sm0 = make_stack_model(config, warp_index=0)
+    sm1 = make_stack_model(config, warp_index=config.max_warps_per_rt_unit)
+    assert sm0._spill_region.base != sm1._spill_region.base

@@ -1,0 +1,177 @@
+"""Inter-warp reallocation tests (the paper's rejected design)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StackError
+from repro.stack.interwarp import InterWarpSmsStack, SlotView
+from repro.stack.reference import ReferenceStack
+
+
+def make(slots=2, lanes=4, rb=1, sh=1, **kwargs):
+    return InterWarpSmsStack(
+        rb_entries=rb, sh_entries=sh, slots=slots, lanes_per_warp=lanes,
+        **kwargs,
+    )
+
+
+def test_lane_space_spans_slots():
+    stack = make(slots=3, lanes=4)
+    assert stack.warp_size == 12
+
+
+def test_invalid_slots():
+    with pytest.raises(StackError):
+        make(slots=0)
+
+
+def test_cross_slot_borrowing():
+    stack = make()
+    # Slot 1's lane 0 (global lane 4) finishes; slot 0's lane 0 borrows.
+    stack.finish(4)
+    for value in range(3):  # RB(1) + own SH(1) + 1 more
+        stack.push(0, value)
+    assert stack.borrow_count == 1
+    assert stack.chain_length(0) == 2
+    assert stack.global_occupancy(0) == 0
+    stack.check_invariants()
+
+
+def test_lifo_across_slot_borrowing():
+    stack = make()
+    stack.finish(4)
+    stack.finish(5)
+    values = list(range(8))
+    for value in values:
+        stack.push(0, value)
+    assert [stack.pop(0)[0] for _ in values] == values[::-1]
+
+
+def test_reset_slot_leaves_borrowed_region_with_borrower():
+    """The paper's complexity case: a new warp finds its region on loan."""
+    stack = make()
+    stack.finish(4)
+    for value in range(3):
+        stack.push(0, value)  # lane 0 borrows lane 4's region
+    stack.reset_slot(1)       # new warp enters slot 1
+    assert stack.regionless_lanes(1) == [4]
+    stack.check_invariants()
+    # Lane 0's borrowed data is intact.
+    assert [stack.pop(0)[0] for _ in range(3)] == [2, 1, 0]
+
+
+def test_regionless_lane_spills_globally_then_reclaims():
+    stack = make()
+    stack.finish(4)
+    for value in range(3):
+        stack.push(0, value)     # borrows lane 4's region (holds value 0)
+    stack.reset_slot(1)          # lane 4 regionless
+    for value in range(3):
+        stack.push(4, 100 + value)
+    # Lane 4 had no SH region: one entry went to global memory.
+    assert stack.global_occupancy(4) + stack.sh_occupancy(4) >= 1
+    assert [stack.pop(4)[0] for _ in range(3)] == [102, 101, 100]
+    stack.check_invariants()
+
+
+def test_release_returns_region_to_active_owner_not_pool():
+    stack = make()
+    stack.finish(4)
+    for value in range(3):
+        stack.push(0, value)
+    stack.reset_slot(1)          # lane 4 active, region on loan to lane 0
+    while stack.sh_occupancy(0):
+        stack.pop(0)             # drains; borrowed region released
+    # Released region must NOT be idle (owner is active, not finished).
+    assert not stack._idle[4]
+    # Lane 4 reclaims it on its next overflow.
+    stack.push(4, 1)
+    stack.push(4, 2)
+    assert stack.chain_length(4) == 1
+    assert stack.sh_occupancy(4) == 1
+    stack.check_invariants()
+
+
+def test_slot_view_adapts_lanes():
+    stack = make()
+    view0 = SlotView(stack, 0)
+    view1 = SlotView(stack, 1)
+    view0.push(2, 11)
+    view1.push(2, 22)
+    assert stack.depth(2) == 1
+    assert stack.depth(6) == 1
+    assert view0.pop(2)[0] == 11
+    assert view1.pop(2)[0] == 22
+
+
+def test_slot_view_reset_is_partial():
+    stack = make()
+    view0 = SlotView(stack, 0)
+    stack.push(4, 99)  # slot 1 lane 0
+    view0.reset()
+    assert stack.depth(4) == 1  # slot 1 untouched
+
+
+def test_shared_addresses_stay_in_slot_blocks():
+    stack = make(slots=2, lanes=32, rb=1, sh=8)
+    block = stack._layouts[0].total_bytes
+    for value in range(6):
+        stack.push(0, value)         # slot 0 lane
+        stack.push(40, value)        # slot 1 lane 8
+    activity0 = stack.push(0, 100)
+    activity1 = stack.push(40, 100)
+    shared0 = [op for op in activity0.ops if op.space.value == "shared"]
+    shared1 = [op for op in activity1.ops if op.space.value == "shared"]
+    assert all(op.address < block for op in shared0)
+    assert all(block <= op.address < 2 * block for op in shared1)
+
+
+def test_spill_addresses_distinct_per_slot():
+    stack = make(slots=2, lanes=32)
+    assert stack._spill_address(0, 0) != stack._spill_address(32, 0)
+
+
+operations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),  # push/pop/finish/reset_slot
+        st.integers(min_value=0, max_value=7),  # global lane (2 slots x 4)
+        st.integers(min_value=0, max_value=10**6),
+    ),
+    max_size=150,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(operations)
+def test_interwarp_equivalence_under_slot_resets(ops):
+    """LIFO equivalence with warp replacement mixed in."""
+    model = make(slots=2, lanes=4, rb=1, sh=1, max_borrows=3)
+    reference = ReferenceStack(warp_size=8)
+    finished = set()
+    for i, (kind, lane, value) in enumerate(ops):
+        if kind == 0 and lane not in finished:
+            model.push(lane, value)
+            reference.push(lane, value)
+        elif kind == 1 and lane not in finished:
+            if reference.depth(lane):
+                expected, _ = reference.pop(lane)
+                actual, _ = model.pop(lane)
+                assert actual == expected
+        elif kind == 2:
+            model.finish(lane)
+            reference.finish(lane)
+            finished.add(lane)
+        elif kind == 3:
+            slot = lane % 2
+            model.reset_slot(slot)
+            for local in range(4):
+                global_lane = slot * 4 + local
+                reference.finish(global_lane)
+                reference._stacks[global_lane] = []
+                finished.discard(global_lane)
+        if i % 9 == 0:
+            model.check_invariants()
+    model.check_invariants()
+    for lane in range(8):
+        assert model.contents(lane) == reference.contents(lane)

@@ -1,0 +1,108 @@
+"""Memory-op record and reference/full stack tests."""
+
+import pytest
+
+from repro.errors import StackError
+from repro.stack.base import ENTRY_BYTES
+from repro.stack.full import FullStack
+from repro.stack.ops import (
+    MemoryOp,
+    MemSpace,
+    OpKind,
+    StackActivity,
+    no_activity,
+)
+from repro.stack.reference import ReferenceStack
+from repro.stack.spill import SpillRegion
+
+
+def test_no_activity_is_empty():
+    activity = no_activity()
+    assert activity.ops == []
+    assert activity.extra_cycles == 0
+
+
+def test_merge_concatenates_in_order():
+    a = StackActivity(
+        ops=[MemoryOp(MemSpace.SHARED, OpKind.LOAD, 0)], extra_cycles=1
+    )
+    b = StackActivity(
+        ops=[MemoryOp(MemSpace.GLOBAL, OpKind.STORE, 8)], extra_cycles=2
+    )
+    merged = a.merge(b)
+    assert len(merged.ops) == 2
+    assert merged.ops[0].space is MemSpace.SHARED
+    assert merged.ops[1].space is MemSpace.GLOBAL
+    assert merged.extra_cycles == 3
+
+
+def test_space_filters():
+    activity = StackActivity(
+        ops=[
+            MemoryOp(MemSpace.SHARED, OpKind.LOAD, 0),
+            MemoryOp(MemSpace.GLOBAL, OpKind.STORE, 8),
+            MemoryOp(MemSpace.SHARED, OpKind.STORE, 16),
+        ]
+    )
+    assert len(activity.shared_ops) == 2
+    assert len(activity.global_ops) == 1
+
+
+def test_memory_op_default_size():
+    op = MemoryOp(MemSpace.GLOBAL, OpKind.LOAD, 0)
+    assert op.size_bytes == ENTRY_BYTES
+
+
+def test_reference_stack_lifo():
+    stack = ReferenceStack(warp_size=4)
+    stack.push(2, 1)
+    stack.push(2, 2)
+    assert stack.pop(2)[0] == 2
+    assert stack.pop(2)[0] == 1
+
+
+def test_reference_stack_no_ops():
+    stack = ReferenceStack(warp_size=4)
+    assert stack.push(0, 1).ops == []
+    assert stack.pop(0)[1].ops == []
+
+
+def test_reference_pop_empty_raises():
+    with pytest.raises(StackError):
+        ReferenceStack().pop(0)
+
+
+def test_reference_invalid_lane():
+    with pytest.raises(StackError):
+        ReferenceStack(warp_size=4).push(4, 0)
+
+
+def test_full_stack_is_reference():
+    stack = FullStack()
+    for value in range(100):
+        assert stack.push(0, value).ops == []
+    for value in reversed(range(100)):
+        popped, activity = stack.pop(0)
+        assert popped == value
+        assert activity.ops == []
+
+
+def test_spill_region_interleaved_layout():
+    region = SpillRegion(warp_index=0, warp_size=32)
+    # Same index across lanes is contiguous (coalesces).
+    assert region.address(1, 0) - region.address(0, 0) == ENTRY_BYTES
+    # Same lane across indices strides by a full warp row.
+    assert region.address(0, 1) - region.address(0, 0) == 32 * ENTRY_BYTES
+
+
+def test_spill_region_warps_disjoint():
+    a = SpillRegion(warp_index=0)
+    b = SpillRegion(warp_index=1)
+    assert b.base == a.base + a.warp_bytes
+
+
+def test_spill_region_wraps_at_slot_limit():
+    region = SpillRegion(warp_index=0)
+    from repro.stack.spill import SPILL_SLOTS_PER_LANE
+
+    assert region.address(0, SPILL_SLOTS_PER_LANE) == region.address(0, 0)

@@ -1,0 +1,180 @@
+"""Dynamic intra-warp reallocation tests (paper section V-B / VI-B)."""
+
+import pytest
+
+from repro.stack.ops import MemSpace, OpKind
+from repro.stack.sms import SmsStack
+
+
+def make_stack(**kwargs):
+    defaults = dict(rb_entries=2, sh_entries=2, realloc=True)
+    defaults.update(kwargs)
+    return SmsStack(**defaults)
+
+
+def fill(stack, lane, count, start=0):
+    for value in range(start, start + count):
+        stack.push(lane, value)
+
+
+def test_borrow_from_finished_lane():
+    stack = make_stack()
+    stack.finish(1)  # lane 1 done; its SH stack becomes idle
+    fill(stack, 0, 4)  # RB(2) + own SH(2) full
+    before = stack.borrow_count
+    stack.push(0, 100)  # needs another slot -> borrow lane 1's stack
+    assert stack.borrow_count == before + 1
+    assert stack.chain_length(0) == 2
+    assert stack.global_occupancy(0) == 0
+
+
+def test_no_borrow_without_idle_lane_flushes_instead():
+    stack = make_stack()
+    fill(stack, 0, 4)
+    before_flush = stack.flush_count
+    activity = stack.push(0, 100)
+    assert stack.flush_count == before_flush + 1
+    # The flush writes the whole bottom region to global memory.
+    global_stores = [
+        op for op in activity.ops
+        if op.space is MemSpace.GLOBAL and op.kind is OpKind.STORE
+    ]
+    assert len(global_stores) == 2  # sh_entries worth
+    assert stack.global_occupancy(0) == 2
+
+
+def test_lifo_preserved_across_borrowing():
+    stack = make_stack()
+    stack.finish(1)
+    stack.finish(2)
+    values = list(range(12))
+    fill(stack, 0, len(values))
+    popped = [stack.pop(0)[0] for _ in values]
+    assert popped == values[::-1]
+
+
+def test_lifo_preserved_across_flushes():
+    stack = make_stack()
+    values = list(range(16))
+    fill(stack, 0, len(values))
+    popped = [stack.pop(0)[0] for _ in values]
+    assert popped == values[::-1]
+
+
+def test_borrowed_stack_released_when_emptied():
+    stack = make_stack()
+    stack.finish(1)
+    fill(stack, 0, 5)  # borrows lane 1's region for the 5th value
+    assert stack.chain_length(0) == 2
+    assert not stack._idle[1]
+    # Drain until the borrowed region empties.
+    while stack.chain_length(0) > 1:
+        stack.pop(0)
+    assert stack._idle[1]
+
+
+def test_released_stack_can_be_reborrowed_by_other_lane():
+    stack = make_stack()
+    stack.finish(1)
+    fill(stack, 0, 5)
+    while stack.chain_length(0) > 1:
+        stack.pop(0)
+    fill(stack, 3, 4)
+    stack.push(3, 99)
+    assert stack.chain_length(3) == 2
+    assert not stack._idle[1]
+
+
+def test_borrow_limit_respected():
+    stack = make_stack(max_borrows=2)
+    for lane in range(1, 6):
+        stack.finish(lane)
+    fill(stack, 0, 30)
+    assert stack.chain_length(0) <= 3  # own + 2 borrowed
+
+
+def test_max_borrows_four_gives_paper_capacity():
+    """Paper: 8-entry SH x (1 own + 4 borrowed) + 8 RB = 48 entries."""
+    stack = SmsStack(rb_entries=8, sh_entries=8, realloc=True)
+    for lane in range(1, 5):
+        stack.finish(lane)
+    fill(stack, 0, 48)
+    assert stack.global_occupancy(0) == 0
+    assert stack.chain_length(0) == 5
+
+
+def test_49th_entry_overflows_to_global():
+    stack = SmsStack(rb_entries=8, sh_entries=8, realloc=True)
+    for lane in range(1, 5):
+        stack.finish(lane)
+    fill(stack, 0, 49)
+    assert stack.global_occupancy(0) > 0
+
+
+def test_finish_releases_borrowed_stacks():
+    stack = make_stack()
+    stack.finish(1)
+    fill(stack, 0, 5)
+    assert not stack._idle[1]
+    stack.finish(0)
+    assert stack._idle[1]
+    assert stack._idle[0]
+
+
+def test_flush_count_limited_then_forced():
+    stack = make_stack(max_flushes=1)
+    before = stack.forced_flush_count
+    fill(stack, 0, 20)
+    # With no borrowable stacks and flush limit 1, later flushes are forced.
+    assert stack.forced_flush_count > before
+    # Still correct LIFO.
+    popped = [stack.pop(0)[0] for _ in range(20)]
+    assert popped == list(range(20))[::-1]
+
+
+def test_chain_walk_latency_reported():
+    stack = make_stack()
+    stack.finish(1)
+    fill(stack, 0, 5)  # chain length 2 now
+    activity = stack.push(0, 50)
+    assert activity.extra_cycles >= 1
+
+
+def test_borrowed_region_uses_owner_addresses():
+    stack = make_stack()
+    stack.finish(1)
+    fill(stack, 0, 4)
+    activity = stack.push(0, 100)  # first value into borrowed region
+    store = [op for op in activity.ops if op.space is MemSpace.SHARED][0]
+    lane1_base = stack.layout.region_base(1)
+    assert lane1_base <= store.address < lane1_base + stack.layout.region_bytes
+
+
+def test_two_lanes_compete_for_one_idle_stack():
+    stack = make_stack()
+    stack.finish(5)
+    fill(stack, 0, 4)
+    fill(stack, 1, 4)
+    stack.push(0, 100)  # takes the idle stack
+    stack.push(1, 100)  # must flush instead
+    assert stack.chain_length(0) == 2
+    assert stack.chain_length(1) == 1
+    assert stack.flush_count >= 1
+
+
+def test_realloc_reduces_global_traffic():
+    """The architectural claim: borrowing avoids global-memory spills."""
+    without = SmsStack(rb_entries=2, sh_entries=2, realloc=False)
+    with_ra = SmsStack(rb_entries=2, sh_entries=2, realloc=True)
+    for stack in (without, with_ra):
+        for lane in range(1, 8):
+            stack.finish(lane)
+
+    def global_ops(stack):
+        count = 0
+        for value in range(12):
+            activity = stack.push(0, value)
+            count += sum(1 for op in activity.ops if op.space is MemSpace.GLOBAL)
+        return count
+
+    assert global_ops(with_ra) < global_ops(without)

@@ -1,0 +1,74 @@
+"""Skewed bank access formula tests (paper section VI-B / Fig. 9)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.stack.skew import base_entry_index, skew_group_size
+
+
+def test_group_size_paper_formula():
+    # k = 32 / (N * 2)
+    assert skew_group_size(8) == 2
+    assert skew_group_size(4) == 4
+    assert skew_group_size(2) == 8
+
+
+def test_group_size_clamped_for_large_stacks():
+    assert skew_group_size(16) == 1
+    assert skew_group_size(32) == 1
+
+
+def test_group_size_invalid():
+    with pytest.raises(ConfigError):
+        skew_group_size(0)
+
+
+def test_paper_figure9_examples():
+    """Threads 0/16 -> entry 0; 2/18 -> entry 1; 1/17 -> 0; 3/19 -> 1."""
+    n = 8
+    assert base_entry_index(0, n) == 0
+    assert base_entry_index(16, n) == 0
+    assert base_entry_index(2, n) == 1
+    assert base_entry_index(18, n) == 1
+    assert base_entry_index(1, n) == 0
+    assert base_entry_index(17, n) == 0
+    assert base_entry_index(3, n) == 1
+    assert base_entry_index(19, n) == 1
+
+
+def test_unskewed_all_zero():
+    for tid in range(32):
+        assert base_entry_index(tid, 8, skewed=False) == 0
+
+
+def test_base_entry_within_stack():
+    for n in (2, 4, 8, 16):
+        for tid in range(32):
+            assert 0 <= base_entry_index(tid, n) < n
+
+
+def test_skew_spreads_evenly():
+    """Each base entry is used by the same number of lanes."""
+    for n in (4, 8, 16):
+        counts = {}
+        for tid in range(32):
+            base = base_entry_index(tid, n)
+            counts[base] = counts.get(base, 0) + 1
+        used = set(counts.values())
+        assert len(used) == 1  # perfectly balanced
+
+
+def test_invalid_tid():
+    with pytest.raises(ConfigError):
+        base_entry_index(32, 8)
+    with pytest.raises(ConfigError):
+        base_entry_index(-1, 8)
+
+
+def test_skew_reduces_same_entry_collisions():
+    """Among even lanes (which share banks), skew separates base entries."""
+    n = 8
+    even_bases_skewed = {base_entry_index(t, n) for t in range(0, 32, 2)}
+    even_bases_plain = {base_entry_index(t, n, skewed=False) for t in range(0, 32, 2)}
+    assert len(even_bases_skewed) == n
+    assert len(even_bases_plain) == 1

@@ -1,0 +1,178 @@
+"""SMS two-level stack tests (paper sections IV and VI-A)."""
+
+import pytest
+
+from repro.errors import StackError
+from repro.stack.ops import MemSpace, OpKind
+from repro.stack.sms import SmsStack
+
+
+def ops_signature(activity):
+    return [(op.space, op.kind) for op in activity.ops]
+
+
+def test_rb_only_no_traffic():
+    stack = SmsStack(rb_entries=4, sh_entries=4)
+    for value in range(4):
+        assert stack.push(0, value).ops == []
+
+
+def test_rb_overflow_spills_to_shared():
+    """Fig. 7 step 1: RB overflow -> one shared store."""
+    stack = SmsStack(rb_entries=4, sh_entries=4)
+    for value in range(4):
+        stack.push(0, value)
+    activity = stack.push(0, 4)
+    assert ops_signature(activity) == [(MemSpace.SHARED, OpKind.STORE)]
+    assert stack.sh_occupancy(0) == 1
+
+
+def test_pop_reloads_from_shared():
+    """Fig. 7 step 2: pop -> shared load back into the RB stack."""
+    stack = SmsStack(rb_entries=2, sh_entries=4)
+    for value in range(4):
+        stack.push(0, value)
+    value, activity = stack.pop(0)
+    assert value == 3
+    assert (MemSpace.SHARED, OpKind.LOAD) in ops_signature(activity)
+
+
+def test_double_overflow_sequence():
+    """Paper VI-A push with both stacks full: shared load, global store,
+    shared store."""
+    stack = SmsStack(rb_entries=2, sh_entries=2)
+    for value in range(4):
+        stack.push(0, value)
+    activity = stack.push(0, 4)
+    assert ops_signature(activity) == [
+        (MemSpace.SHARED, OpKind.LOAD),
+        (MemSpace.GLOBAL, OpKind.STORE),
+        (MemSpace.SHARED, OpKind.STORE),
+    ]
+    assert stack.global_occupancy(0) == 1
+
+
+def test_pop_with_global_resident_entries():
+    """Paper VI-A pop with SH overflow: shared load, then global load +
+    shared store refill."""
+    stack = SmsStack(rb_entries=2, sh_entries=2)
+    for value in range(6):
+        stack.push(0, value)
+    assert stack.global_occupancy(0) == 2
+    value, activity = stack.pop(0)
+    assert value == 5
+    signature = ops_signature(activity)
+    assert signature[0] == (MemSpace.SHARED, OpKind.LOAD)
+    assert (MemSpace.GLOBAL, OpKind.LOAD) in signature
+    assert signature[-1] == (MemSpace.SHARED, OpKind.STORE)
+    assert stack.global_occupancy(0) == 1
+
+
+def test_lifo_order_through_all_levels():
+    stack = SmsStack(rb_entries=2, sh_entries=2)
+    values = list(range(10))
+    for value in values:
+        stack.push(0, value)
+    popped = [stack.pop(0)[0] for _ in values]
+    assert popped == values[::-1]
+
+
+def test_depth_counts_all_levels():
+    stack = SmsStack(rb_entries=2, sh_entries=2)
+    for value in range(7):
+        stack.push(0, value)
+    assert stack.depth(0) == 7
+    assert len(stack._rb[0]) == 2
+    assert stack.sh_occupancy(0) == 2
+    assert stack.global_occupancy(0) == 3
+
+
+def test_contents_oldest_first():
+    stack = SmsStack(rb_entries=2, sh_entries=2)
+    for value in range(6):
+        stack.push(0, value)
+    assert stack.contents(0) == [0, 1, 2, 3, 4, 5]
+
+
+def test_pop_empty_raises():
+    stack = SmsStack()
+    with pytest.raises(StackError):
+        stack.pop(0)
+
+
+def test_circular_reuse_of_sh_entries():
+    """Push/pop cycles around the SH boundary reuse the circular queue."""
+    stack = SmsStack(rb_entries=2, sh_entries=2)
+    for cycle in range(5):
+        for value in range(5):
+            stack.push(0, value)
+        for _ in range(5):
+            stack.pop(0)
+        assert stack.depth(0) == 0
+
+
+def test_shared_addresses_within_layout(small_scene):
+    stack = SmsStack(rb_entries=2, sh_entries=4)
+    for value in range(40):
+        stack.push(0, value)
+        stack.push(3, value)
+    # Every shared op must target an address inside the warp's block.
+    total = stack.layout.total_bytes
+    for lane in (0, 3):
+        for value in range(40, 44):
+            activity = stack.push(lane, value)
+            for op in activity.ops:
+                if op.space is MemSpace.SHARED:
+                    assert 0 <= op.address < total
+
+
+def test_skewed_base_entry_used():
+    plain = SmsStack(rb_entries=1, sh_entries=8, skewed=False)
+    skewed = SmsStack(rb_entries=1, sh_entries=8, skewed=True)
+    # Lane 2's first SH spill: plain starts at entry 0, skewed at entry 1.
+    for stack in (plain, skewed):
+        stack.push(2, 0)
+    plain_op = plain.push(2, 1).ops[0]
+    skewed_op = skewed.push(2, 1).ops[0]
+    assert skewed_op.address == plain_op.address + 8
+
+
+def test_finish_clears_and_marks_idle():
+    stack = SmsStack(rb_entries=2, sh_entries=2, realloc=True)
+    for value in range(5):
+        stack.push(0, value)
+    stack.finish(0)
+    assert stack.depth(0) == 0
+    assert stack._idle[0]
+
+
+def test_reset_restores_initial_state():
+    stack = SmsStack(rb_entries=2, sh_entries=2, realloc=True)
+    for value in range(8):
+        stack.push(0, value)
+    stack.finish(1)
+    stack.reset()
+    assert stack.depth(0) == 0
+    assert not stack._idle[1]
+
+
+def test_invalid_params():
+    with pytest.raises(StackError):
+        SmsStack(rb_entries=0)
+    with pytest.raises(StackError):
+        SmsStack(sh_entries=0)
+
+
+def test_any_hit_abandon_then_reuse():
+    """Abandoning a deep stack (any-hit) must leave the warp clean."""
+    stack = SmsStack(rb_entries=2, sh_entries=2)
+    for value in range(9):
+        stack.push(0, value)
+    stack.finish(0)
+    assert stack.depth(0) == 0
+    with pytest.raises(StackError):
+        stack.push(0, 1)  # finished lanes stay retired until reset
+    stack.reset()
+    for value in range(5):
+        stack.push(0, value)
+    assert [stack.pop(0)[0] for _ in range(5)] == [4, 3, 2, 1, 0]

@@ -1,0 +1,30 @@
+"""Exception hierarchy tests."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_derive_from_repro_error():
+    for name in (
+        "GeometryError", "SceneError", "BVHError", "TraversalError",
+        "StackError", "ConfigError", "SimulationError", "ExperimentError",
+    ):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_single_catch_covers_library_errors():
+    """A user can catch everything the library raises with one except."""
+    from repro.core.presets import named_config
+    from repro.workloads.lumibench import load_scene
+
+    with pytest.raises(errors.ReproError):
+        named_config("NOT_A_CONFIG")
+    with pytest.raises(errors.ReproError):
+        load_scene("NOT_A_SCENE")
+
+
+def test_repro_error_is_exception():
+    assert issubclass(errors.ReproError, Exception)
+    assert not issubclass(errors.ReproError, (KeyboardInterrupt, SystemExit))

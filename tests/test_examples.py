@@ -1,0 +1,81 @@
+"""Smoke tests for the runnable examples (the fast ones, end to end)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).parent.parent
+EXAMPLES = REPO / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        timeout=timeout,
+    )
+
+
+def test_short_stack_walkthrough():
+    result = run_example("short_stack_walkthrough.py")
+    assert result.returncode == 0, result.stderr
+    assert "push E" in result.stdout
+    assert "GLOBAL store" in result.stdout
+    assert "shared store" in result.stdout
+
+
+def test_bank_mapping():
+    result = run_example("bank_mapping.py", "8")
+    assert result.returncode == 0, result.stderr
+    assert "conflict degree 16" in result.stdout
+    assert "conflict degree  2" in result.stdout
+
+
+def test_overhead_report():
+    result = run_example("overhead_report.py")
+    assert result.returncode == 0, result.stderr
+    assert "272" in result.stdout
+
+
+def test_render_image(tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "render_image.py"), "SHIP", "16"],
+        capture_output=True,
+        text=True,
+        cwd=tmp_path,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    ppm = tmp_path / "render_ship.ppm"
+    assert ppm.exists()
+    header = ppm.read_bytes()[:20]
+    assert header.startswith(b"P6 16 16 255")
+
+
+def test_warp_timeline(tmp_path):
+    out = tmp_path / "t.json"
+    result = run_example("warp_timeline.py", "SHIP", str(out))
+    assert result.returncode == 0, result.stderr
+    assert out.exists()
+    assert "warps in flight" in result.stdout
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart.py",
+        "stack_depth_study.py",
+        "design_space_sweep.py",
+        "energy_comparison.py",
+        "campaign_export.py",
+    ],
+)
+def test_example_compiles(name):
+    """The heavier examples at least parse and carry a docstring."""
+    source = (EXAMPLES / name).read_text()
+    code = compile(source, name, "exec")
+    assert code.co_consts[0], f"{name} missing module docstring"

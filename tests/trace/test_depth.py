@@ -1,0 +1,86 @@
+"""Depth statistics tests."""
+
+import pytest
+
+from repro.trace.depth import (
+    bucket_fractions,
+    depth_histogram,
+    depth_statistics,
+    per_thread_depth_series,
+)
+from repro.trace.events import NodeKind, RayKind, RayTrace, Step
+
+
+def trace_with_profile(pushes_pops):
+    """Build a trace whose steps push/pop per the given spec."""
+    trace = RayTrace(ray_id=0, pixel=0, kind=RayKind.PRIMARY)
+    for pushes, popped in pushes_pops:
+        trace.steps.append(
+            Step(
+                address=0,
+                size_bytes=32,
+                kind=NodeKind.INTERNAL,
+                tests=1,
+                pushes=[0] * pushes,
+                popped=popped,
+            )
+        )
+    return trace
+
+
+def test_statistics_basic():
+    trace = trace_with_profile([(3, False), (0, True), (0, True), (0, True)])
+    stats = depth_statistics([trace])
+    # Profile: 1,2,3 then 2,1,0.
+    assert stats.max_depth == 3
+    assert stats.sample_count == 6
+    assert stats.avg_depth == pytest.approx((1 + 2 + 3 + 2 + 1 + 0) / 6)
+    assert stats.median_depth == pytest.approx(1.5)
+
+
+def test_statistics_empty():
+    stats = depth_statistics([])
+    assert stats.max_depth == 0
+    assert stats.sample_count == 0
+
+
+def test_histogram_counts():
+    trace = trace_with_profile([(2, False), (0, True)])
+    hist = depth_histogram([trace])
+    # Profile: 1, 2, 1.
+    assert hist == {1: 2, 2: 1}
+
+
+def test_histogram_caps_at_max_bucket():
+    trace = trace_with_profile([(50, False)])
+    hist = depth_histogram([trace], max_bucket=10)
+    assert max(hist) == 10
+
+
+def test_bucket_fractions_paper_buckets():
+    hist = {4: 81, 12: 17, 20: 2}
+    fractions = bucket_fractions(hist)
+    assert fractions == pytest.approx([0.81, 0.17, 0.02])
+
+
+def test_bucket_fractions_ignore_depth_zero():
+    hist = {0: 1000, 4: 10}
+    fractions = bucket_fractions(hist)
+    assert fractions[0] == pytest.approx(1.0)
+
+
+def test_bucket_fractions_empty():
+    assert bucket_fractions({}) == [0.0, 0.0, 0.0]
+
+
+def test_per_thread_series_shapes():
+    traces = [trace_with_profile([(2, False)]), trace_with_profile([(1, True)])]
+    series = per_thread_depth_series(traces)
+    assert series == [[1, 2], [1, 0]]
+
+
+def test_statistics_over_workload(small_workload):
+    stats = depth_statistics(small_workload.all_traces)
+    assert stats.max_depth >= 1
+    assert 0 < stats.avg_depth <= stats.max_depth
+    assert stats.sample_count > 0

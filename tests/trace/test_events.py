@@ -1,0 +1,77 @@
+"""Trace event record tests."""
+
+import pytest
+
+from repro.errors import TraversalError
+from repro.trace.events import NodeKind, RayKind, RayTrace, Step, total_steps
+
+
+def step(pushes=(), popped=False, kind=NodeKind.INTERNAL):
+    return Step(
+        address=0x1000,
+        size_bytes=64,
+        kind=kind,
+        tests=len(pushes) or 1,
+        pushes=list(pushes),
+        popped=popped,
+    )
+
+
+def make_trace(steps):
+    trace = RayTrace(ray_id=0, pixel=0, kind=RayKind.PRIMARY)
+    trace.steps = steps
+    return trace
+
+
+def test_depth_profile_records_pushes_and_pops():
+    trace = make_trace(
+        [
+            step(pushes=[1, 2]),          # depth 1, 2
+            step(pushes=[3]),             # depth 3
+            step(popped=True),            # depth 2
+            step(popped=True),            # depth 1
+        ]
+    )
+    assert trace.stack_depth_profile() == [1, 2, 3, 2, 1]
+
+
+def test_max_stack_depth():
+    trace = make_trace([step(pushes=[1, 2, 3]), step(popped=True)])
+    assert trace.max_stack_depth() == 3
+
+
+def test_empty_trace_depth():
+    trace = make_trace([])
+    assert trace.stack_depth_profile() == []
+    assert trace.max_stack_depth() == 0
+
+
+def test_validate_accepts_balanced():
+    make_trace([step(pushes=[1]), step(popped=True)]).validate()
+
+
+def test_validate_rejects_underflow():
+    with pytest.raises(TraversalError):
+        make_trace([step(popped=True)]).validate()
+
+
+def test_hit_property():
+    trace = make_trace([])
+    assert not trace.hit
+    trace.hit_prim = 3
+    assert trace.hit
+
+
+def test_step_count():
+    trace = make_trace([step(), step()])
+    assert trace.step_count == 2
+
+
+def test_total_steps_helper():
+    traces = [make_trace([step()]), make_trace([step(), step()])]
+    assert total_steps(traces) == 3
+
+
+def test_push_and_pop_in_one_step():
+    trace = make_trace([step(pushes=[1, 2], popped=True)])
+    assert trace.stack_depth_profile() == [1, 2, 1]

@@ -1,0 +1,75 @@
+"""Warp-formation ordering tests."""
+
+import pytest
+
+from repro.errors import TraversalError
+from repro.trace.events import RayKind, RayTrace
+from repro.trace.ordering import reorder_wave_tiled, tiled_pixel_order
+
+
+def test_tiled_order_is_permutation():
+    order = tiled_pixel_order(16, 8)
+    assert sorted(order) == list(range(16 * 8))
+
+
+def test_first_tile_is_8x4_block():
+    order = tiled_pixel_order(16, 8, tile_w=8, tile_h=4)
+    first_tile = set(order[:32])
+    expected = {y * 16 + x for y in range(4) for x in range(8)}
+    assert first_tile == expected
+
+
+def test_partial_tiles_covered():
+    order = tiled_pixel_order(10, 5, tile_w=8, tile_h=4)
+    assert sorted(order) == list(range(50))
+
+
+def test_invalid_dims_raise():
+    with pytest.raises(TraversalError):
+        tiled_pixel_order(0, 8)
+    with pytest.raises(TraversalError):
+        tiled_pixel_order(8, 8, tile_w=0)
+
+
+def make_wave(pixels):
+    return [
+        RayTrace(ray_id=i, pixel=p, kind=RayKind.PRIMARY)
+        for i, p in enumerate(pixels)
+    ]
+
+
+def test_reorder_preserves_population():
+    wave = make_wave(range(32))
+    reordered = reorder_wave_tiled(wave, 8, 4)
+    assert sorted(t.ray_id for t in reordered) == list(range(32))
+
+
+def test_reorder_groups_tiles():
+    # 16x8 image: after reordering, the first 32 traces form the first tile.
+    wave = make_wave(range(16 * 8))
+    reordered = reorder_wave_tiled(wave, 16, 8)
+    first = {t.pixel for t in reordered[:32]}
+    expected = {y * 16 + x for y in range(4) for x in range(8)}
+    assert first == expected
+
+
+def test_reorder_keeps_duplicate_pixels_in_order():
+    wave = make_wave([5, 5, 3])
+    reordered = reorder_wave_tiled(wave, 8, 4)
+    fives = [t.ray_id for t in reordered if t.pixel == 5]
+    assert fives == [0, 1]
+
+
+def test_reorder_appends_out_of_image_pixels():
+    wave = make_wave([0, 999])
+    reordered = reorder_wave_tiled(wave, 8, 4)
+    assert reordered[-1].pixel == 999
+
+
+def test_warp_formation_study_runs():
+    from repro.experiments.ablations import warp_formation_study
+
+    result = warp_formation_study(scene_names=("SHIP",), resolution=12)
+    assert "SHIP" in result.ipc_gain
+    assert result.fetch_lines_linear["SHIP"] > 0
+    assert result.fetch_lines_tiled["SHIP"] > 0

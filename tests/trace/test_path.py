@@ -1,0 +1,85 @@
+"""Path-traced workload generation tests."""
+
+import pytest
+
+from repro.trace.events import RayKind
+from repro.trace.path import generate_workload
+
+
+def test_primary_wave_covers_pixels(small_bvh):
+    workload = generate_workload(small_bvh, width=6, height=5, max_bounces=0)
+    assert len(workload.waves) == 1
+    primaries = workload.waves[0]
+    assert len(primaries) == 30
+    assert all(t.kind is RayKind.PRIMARY for t in primaries)
+    assert [t.pixel for t in primaries] == list(range(30))
+
+
+def test_spp_multiplies_primaries(small_bvh):
+    one = generate_workload(small_bvh, width=4, height=4, spp=1, max_bounces=0)
+    two = generate_workload(small_bvh, width=4, height=4, spp=2, max_bounces=0)
+    assert len(two.waves[0]) == 2 * len(one.waves[0])
+
+
+def test_bounces_add_waves(small_bvh):
+    flat = generate_workload(small_bvh, width=6, height=6, max_bounces=0)
+    deep = generate_workload(small_bvh, width=6, height=6, max_bounces=2)
+    assert len(deep.waves) > len(flat.waves)
+
+
+def test_shadow_and_bounce_waves_follow_hits(small_bvh):
+    workload = generate_workload(small_bvh, width=8, height=8, max_bounces=1)
+    hit_count = sum(1 for t in workload.waves[0] if t.hit)
+    assert hit_count > 0
+    kinds = [wave[0].kind for wave in workload.waves[1:]]
+    assert RayKind.SHADOW in kinds
+    assert RayKind.BOUNCE in kinds
+    shadow_wave = next(w for w in workload.waves[1:] if w[0].kind is RayKind.SHADOW)
+    assert len(shadow_wave) <= hit_count
+
+
+def test_ray_ids_unique(small_bvh):
+    workload = generate_workload(small_bvh, width=6, height=6, max_bounces=2)
+    ids = [t.ray_id for t in workload.all_traces]
+    assert len(set(ids)) == len(ids)
+
+
+def test_total_steps_sums(small_bvh):
+    workload = generate_workload(small_bvh, width=4, height=4, max_bounces=1)
+    assert workload.total_steps == sum(t.step_count for t in workload.all_traces)
+
+
+def test_deterministic_across_runs(small_bvh):
+    a = generate_workload(small_bvh, width=5, height=5, max_bounces=2, seed=9)
+    b = generate_workload(small_bvh, width=5, height=5, max_bounces=2, seed=9)
+    assert a.ray_count == b.ray_count
+    for ta, tb in zip(a.all_traces, b.all_traces):
+        assert ta.hit_prim == tb.hit_prim
+        assert [s.address for s in ta.steps] == [s.address for s in tb.steps]
+
+
+def test_seed_changes_bounce_rays(small_bvh):
+    a = generate_workload(small_bvh, width=5, height=5, max_bounces=2, seed=1)
+    b = generate_workload(small_bvh, width=5, height=5, max_bounces=2, seed=2)
+    # Primary rays identical, bounce directions differ.
+    bounce_a = [t for t in a.all_traces if t.kind is RayKind.BOUNCE]
+    bounce_b = [t for t in b.all_traces if t.kind is RayKind.BOUNCE]
+    if bounce_a and bounce_b:
+        same = all(
+            [s.address for s in ta.steps] == [s.address for s in tb.steps]
+            for ta, tb in zip(bounce_a, bounce_b)
+        )
+        assert not same
+
+
+def test_all_traces_validate(small_workload):
+    for trace in small_workload.all_traces:
+        trace.validate()
+
+
+def test_workload_metadata(small_bvh):
+    workload = generate_workload(small_bvh, width=4, height=3, spp=2, max_bounces=1)
+    assert workload.width == 4
+    assert workload.height == 3
+    assert workload.spp == 2
+    assert workload.scene_name == small_bvh.scene.name

@@ -1,0 +1,72 @@
+"""Deterministic RNG tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.vec import normalize, vec3
+from repro.trace.rng import DeterministicRng
+
+
+def test_uniform_in_unit_interval():
+    rng = DeterministicRng(1)
+    for key in range(200):
+        value = rng.uniform(key)
+        assert 0.0 <= value < 1.0
+
+
+def test_same_key_same_value():
+    rng = DeterministicRng(7)
+    assert rng.uniform(3, 4, 5) == rng.uniform(3, 4, 5)
+
+
+def test_different_keys_differ():
+    rng = DeterministicRng(7)
+    values = {rng.uniform(k) for k in range(100)}
+    assert len(values) == 100
+
+
+def test_different_seeds_differ():
+    a = DeterministicRng(1).uniform(42)
+    b = DeterministicRng(2).uniform(42)
+    assert a != b
+
+
+def test_no_stream_state():
+    """Calls are pure: order of evaluation does not matter."""
+    rng = DeterministicRng(9)
+    forward = [rng.uniform(k) for k in range(10)]
+    backward = [rng.uniform(k) for k in reversed(range(10))]
+    assert forward == list(reversed(backward))
+
+
+def test_uniform_pair_components_differ():
+    rng = DeterministicRng(5)
+    a, b = rng.uniform_pair(1, 2)
+    assert a != b
+
+
+def test_uniform_roughly_uniform():
+    rng = DeterministicRng(11)
+    values = [rng.uniform(k) for k in range(2000)]
+    assert abs(np.mean(values) - 0.5) < 0.02
+    assert abs(np.std(values) - (1 / 12) ** 0.5) < 0.02
+
+
+def test_cosine_hemisphere_above_surface():
+    rng = DeterministicRng(13)
+    normal = normalize(vec3(0.3, 0.8, -0.2))
+    for key in range(100):
+        direction = rng.cosine_hemisphere(normal, key)
+        assert float(np.dot(direction, normal)) >= -1e-9
+        assert np.linalg.norm(direction) == pytest.approx(1.0)
+
+
+def test_cosine_hemisphere_cosine_weighted():
+    rng = DeterministicRng(17)
+    normal = vec3(0, 1, 0)
+    cosines = [
+        float(np.dot(rng.cosine_hemisphere(normal, k), normal))
+        for k in range(3000)
+    ]
+    # E[cos theta] for cosine-weighted sampling is 2/3.
+    assert abs(np.mean(cosines) - 2 / 3) < 0.02

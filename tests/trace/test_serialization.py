@@ -1,0 +1,75 @@
+"""Trace serialization tests."""
+
+import pytest
+
+from repro.core.api import time_traces
+from repro.core.presets import sms_config
+from repro.errors import TraversalError
+from repro.trace.serialization import (
+    FORMAT_VERSION,
+    load_traces,
+    save_traces,
+    traces_from_dict,
+    traces_to_dict,
+)
+
+
+def test_roundtrip_preserves_everything(small_workload, tmp_path):
+    original = small_workload.all_traces
+    path = save_traces(original, tmp_path / "traces.json")
+    loaded = load_traces(path)
+    assert len(loaded) == len(original)
+    for a, b in zip(original, loaded):
+        assert a.ray_id == b.ray_id
+        assert a.pixel == b.pixel
+        assert a.kind == b.kind
+        assert a.hit_prim == b.hit_prim
+        assert len(a.steps) == len(b.steps)
+        for step_a, step_b in zip(a.steps, b.steps):
+            assert step_a.address == step_b.address
+            assert step_a.size_bytes == step_b.size_bytes
+            assert step_a.kind == step_b.kind
+            assert step_a.tests == step_b.tests
+            assert step_a.pushes == step_b.pushes
+            assert step_a.popped == step_b.popped
+
+
+def test_loaded_traces_simulate_identically(small_workload, tmp_path):
+    original = small_workload.all_traces
+    loaded = load_traces(save_traces(original, tmp_path / "t.json"))
+    config = sms_config(rb_entries=2, sh_entries=2)
+    a = time_traces(original, config, verify_pops=True)
+    b = time_traces(loaded, config, verify_pops=True)
+    assert a.cycles == b.cycles
+    assert a.counters.as_dict() == b.counters.as_dict()
+
+
+def test_miss_hit_t_roundtrips_as_inf(small_workload, tmp_path):
+    original = small_workload.all_traces
+    misses = [t for t in original if not t.hit]
+    assert misses, "fixture should include missing rays"
+    loaded = load_traces(save_traces(original, tmp_path / "t.json"))
+    for a, b in zip(original, loaded):
+        if not a.hit:
+            assert b.hit_t == float("inf")
+
+
+def test_version_check():
+    data = traces_to_dict([])
+    assert data["version"] == FORMAT_VERSION
+    data["version"] = 999
+    with pytest.raises(TraversalError):
+        traces_from_dict(data)
+
+
+def test_corrupt_stream_rejected(small_workload):
+    popping = next(
+        t for t in small_workload.all_traces
+        if any(step.popped for step in t.steps)
+    )
+    data = traces_to_dict([popping])
+    record = data["traces"][0]
+    # Make the stream pop more than was pushed.
+    record["pushes"] = [[] for _ in record["pushes"]]
+    with pytest.raises(TraversalError):
+        traces_from_dict(data)

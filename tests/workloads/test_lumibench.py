@@ -1,0 +1,70 @@
+"""Workload suite tests."""
+
+import pytest
+
+from repro.errors import SceneError
+from repro.workloads.lumibench import (
+    SCENE_NAMES,
+    all_scenes,
+    load_scene,
+    scene_recipe,
+)
+
+
+def test_sixteen_scenes():
+    assert len(SCENE_NAMES) == 16
+
+
+def test_table2_names_present():
+    expected = {
+        "WKND", "SPRNG", "FOX", "LANDS", "CRNVL", "SPNZA", "BATH", "ROBOT",
+        "CAR", "PARTY", "FRST", "BUNNY", "SHIP", "REF", "CHSNT", "PARK",
+    }
+    assert set(SCENE_NAMES) == expected
+
+
+def test_load_scene_case_insensitive():
+    assert load_scene("ship").name == "SHIP"
+
+
+def test_unknown_scene_raises():
+    with pytest.raises(SceneError):
+        load_scene("NOPE")
+
+
+def test_recipes_have_paper_metadata():
+    for name in SCENE_NAMES:
+        recipe = scene_recipe(name)
+        assert recipe.paper_bvh_mb >= 0
+        assert recipe.paper_triangles
+
+
+def test_complex_scenes_flagged():
+    for name in ("CHSNT", "ROBOT", "PARK"):
+        assert scene_recipe(name).complex_scene
+    assert not scene_recipe("BUNNY").complex_scene
+
+
+@pytest.mark.parametrize("name", SCENE_NAMES)
+def test_every_scene_generates_valid_geometry(name):
+    scene = load_scene(name)
+    scene.validate()
+    assert scene.triangle_count > 0
+
+
+def test_scene_generation_deterministic():
+    a = load_scene("CRNVL")
+    b = load_scene("CRNVL")
+    import numpy as np
+
+    assert np.array_equal(a.vertices, b.vertices)
+
+
+def test_robot_is_largest():
+    robot = load_scene("ROBOT").triangle_count
+    for name in ("BUNNY", "SHIP", "REF", "WKND"):
+        assert robot > load_scene(name).triangle_count
+
+
+def test_ship_uses_few_primitives():
+    assert load_scene("SHIP").triangle_count < 2000

@@ -1,0 +1,36 @@
+"""Workload parameter tests."""
+
+from repro.workloads.params import COMPLEX_SCENES, DEFAULT_PARAMS, WorkloadParams
+
+
+def test_default_two_tier_scheme():
+    assert DEFAULT_PARAMS.for_scene("BUNNY") == (32, 32, 1)
+    assert DEFAULT_PARAMS.for_scene("ROBOT") == (16, 16, 1)
+
+
+def test_complex_scene_list_matches_paper():
+    assert set(COMPLEX_SCENES) == {"CHSNT", "ROBOT", "PARK"}
+
+
+def test_case_insensitive():
+    assert DEFAULT_PARAMS.for_scene("robot") == DEFAULT_PARAMS.for_scene("ROBOT")
+
+
+def test_scaled_shrinks_resolution():
+    scaled = DEFAULT_PARAMS.scaled(0.5)
+    assert scaled.width == 16
+    assert scaled.complex_width == 8
+
+
+def test_scaled_floors_at_four():
+    scaled = DEFAULT_PARAMS.scaled(0.01)
+    assert scaled.width == 4
+    assert scaled.complex_width == 4
+
+
+def test_scaled_preserves_other_fields():
+    params = WorkloadParams(spp=2, max_bounces=5, seed=9)
+    scaled = params.scaled(0.5)
+    assert scaled.spp == 2
+    assert scaled.max_bounces == 5
+    assert scaled.seed == 9
