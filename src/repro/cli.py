@@ -9,9 +9,13 @@ Installed as ``python -m repro``.  Commands:
 ``compare``
     Trace one scene once and time it under several configurations.
 ``experiment``
-    Regenerate one paper table/figure (or ``all``).
+    Regenerate one paper table/figure (or ``all``).  Sweeps run on a
+    worker-process pool (``--jobs``) and are served from the persistent
+    result store (``--no-cache`` / ``--cache-dir`` to control it).
 ``overhead``
     Print the SMS hardware-overhead analysis (paper VI-C).
+``cache``
+    Inspect or clear the persistent result store.
 """
 
 from __future__ import annotations
@@ -56,9 +60,30 @@ def build_parser() -> argparse.ArgumentParser:
                      help="workload resolution scale (default 1.0)")
     exp.add_argument("--scenes", default="",
                      help="comma-separated scene subset (default: full suite)")
+    _add_runtime_args(exp)
 
     sub.add_parser("overhead", help="print the SMS hardware overhead analysis")
+
+    cache_cmd = sub.add_parser("cache", help="inspect the persistent result store")
+    cache_cmd.add_argument("--cache-dir", default=None,
+                           help="result store directory (default "
+                           "~/.cache/repro-sms or $REPRO_CACHE_DIR)")
+    cache_cmd.add_argument("--clear", action="store_true",
+                           help="delete every stored result")
     return parser
+
+
+def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for sweeps (default: one per "
+                        "CPU; 1 = serial in-process)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent result store")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result store directory (default "
+                        "~/.cache/repro-sms or $REPRO_CACHE_DIR)")
+    parser.add_argument("--progress", action="store_true",
+                        help="draw a live progress line on stderr")
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -144,8 +169,8 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
-    from repro.experiments.common import WorkloadCache
-    from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+    from repro.experiments.runner import run_all, run_experiment
+    from repro.runtime.cache import runtime_cache
     from repro.workloads.params import DEFAULT_PARAMS
 
     params = (
@@ -154,13 +179,37 @@ def _cmd_experiment(args) -> int:
     scene_names = (
         [s.strip() for s in args.scenes.split(",") if s.strip()] or None
     )
-    cache = WorkloadCache(params=params, scene_names=scene_names)
+    cache = runtime_cache(
+        params=params,
+        scene_names=scene_names,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        progress=args.progress,
+    )
     if args.name.lower() == "all":
         for name, text in run_all(cache).items():
             print(f"\n===== {name} =====")
             print(text)
+    else:
+        print(run_experiment(args.name, cache))
+    if cache.metrics.jobs_total:
+        print(f"[repro] {cache.metrics.summary()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.runtime.store import ResultStore
+
+    store = ResultStore(args.cache_dir)
+    if args.clear:
+        removed = store.clear()
+        print(f"cleared {removed} stored results from {store.root}")
         return 0
-    print(run_experiment(args.name, cache))
+    count = len(store)
+    print(f"store    : {store.root}")
+    print(f"entries  : {count}")
+    print(f"disk     : {store.size_bytes() / 1024:.1f} KB")
     return 0
 
 
@@ -184,6 +233,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_experiment(args)
         if args.command == "overhead":
             return _cmd_overhead()
+        if args.command == "cache":
+            return _cmd_cache(args)
         parser.error(f"unknown command {args.command!r}")
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Optional
 
 from repro.gpu.config import GPUConfig
@@ -45,6 +45,35 @@ class SimulationResult:
         if other.ipc == 0:
             return float("inf")
         return self.ipc / other.ipc
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the runtime result store's payload)."""
+        return {
+            "scene_name": self.scene_name,
+            "config": asdict(self.config),
+            "counters": self.counters.as_dict(),
+            "depth_stats": (
+                asdict(self.depth_stats) if self.depth_stats else None
+            ),
+            "ray_count": self.ray_count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Exact round-trip: every field is an int, bool, str or float, and
+        JSON preserves binary64 floats, so a deserialized result compares
+        equal to the original.
+        """
+        depth = data.get("depth_stats")
+        return cls(
+            scene_name=data["scene_name"],
+            config=GPUConfig(**data["config"]),
+            counters=Counters.from_dict(data["counters"]),
+            depth_stats=DepthStats(**depth) if depth else None,
+            ray_count=data.get("ray_count", 0),
+        )
 
     def summary(self) -> str:
         """One-line human-readable summary."""

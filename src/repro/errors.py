@@ -39,3 +39,7 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """Experiment driver misuse (unknown figure id, missing results, ...)."""
+
+
+class JobExecutionError(ReproError):
+    """A runtime job kept failing after exhausting its retry budget."""

@@ -3,6 +3,11 @@
 ``run_experiment("fig13")`` runs one driver; ``run_all()`` regenerates
 the whole evaluation section, sharing a single workload cache so each
 scene is traced exactly once.
+
+Both default to a :class:`~repro.runtime.cache.CachedWorkloadCache`, so
+every driver's sweep runs on the runtime's process pool and is served
+from the persistent result store on repeat runs; pass ``jobs=1`` or
+``use_cache=False`` (or a plain :class:`WorkloadCache`) to opt out.
 """
 
 from __future__ import annotations
@@ -49,12 +54,19 @@ EXTRA_EXPERIMENTS = {
 _CACHELESS = ("table1",)
 
 
+def _default_cache() -> WorkloadCache:
+    """The runtime-backed cache experiments get when none is supplied."""
+    from repro.runtime.cache import runtime_cache
+
+    return runtime_cache()
+
+
 def run_experiment(name: str, cache: Optional[WorkloadCache] = None) -> str:
     """Run one experiment and return its rendered report."""
     key = name.lower()
     if key in EXTRA_EXPERIMENTS:
         driver = EXTRA_EXPERIMENTS[key]
-        return driver.render(driver.run(cache or WorkloadCache()))
+        return driver.render(driver.run(cache or _default_cache()))
     if key not in EXPERIMENTS:
         available = ", ".join(list(EXPERIMENTS) + list(EXTRA_EXPERIMENTS))
         raise ExperimentError(
@@ -63,12 +75,29 @@ def run_experiment(name: str, cache: Optional[WorkloadCache] = None) -> str:
     driver = EXPERIMENTS[key]
     if key in _CACHELESS:
         return driver.render(driver.run())
-    return driver.render(driver.run(cache or WorkloadCache()))
+    return driver.render(driver.run(cache or _default_cache()))
 
 
-def run_all(cache: Optional[WorkloadCache] = None) -> Dict[str, str]:
-    """Regenerate every table and figure; returns id -> rendered report."""
-    cache = cache or WorkloadCache()
+def run_all(
+    cache: Optional[WorkloadCache] = None,
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
+    cache_dir=None,
+    progress: bool = False,
+) -> Dict[str, str]:
+    """Regenerate every table and figure; returns id -> rendered report.
+
+    ``jobs``/``use_cache``/``cache_dir``/``progress`` configure the
+    runtime cache built when no ``cache`` is supplied (worker count,
+    persistent store, store location, live progress line).
+    """
+    if cache is None:
+        from repro.runtime.cache import runtime_cache
+
+        cache = runtime_cache(
+            jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
+            progress=progress,
+        )
     reports: Dict[str, str] = {}
     for name in EXPERIMENTS:
         reports[name] = run_experiment(name, cache)

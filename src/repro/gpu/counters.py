@@ -80,3 +80,10 @@ class Counters:
         data["ipc"] = self.ipc
         data["offchip_accesses"] = self.offchip_accesses
         return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Counters":
+        """Rebuild from an :meth:`as_dict` payload (extra keys ignored)."""
+        names = {spec.name for spec in fields(cls)}
+        return cls(**{key: value for key, value in data.items()
+                      if key in names})

@@ -1,0 +1,136 @@
+"""A workload cache whose sweeps are parallel, persistent, and metered.
+
+:class:`CachedWorkloadCache` is a drop-in
+:class:`~repro.experiments.common.WorkloadCache`: every experiment
+driver that takes a cache (``cache.simulate``, ``cache.sweep``,
+``cache.traced``) works unchanged, but
+
+- ``simulate`` consults the persistent :class:`ResultStore` before
+  simulating, and writes back on a miss;
+- ``sweep`` dispatches the whole (scene x config) matrix through
+  :func:`~repro.runtime.executor.run_jobs` — store hits are free, the
+  misses run on a process pool per the :class:`ExecutionPolicy`;
+- ``metrics`` accumulates cache-hit/latency/throughput counters across
+  every call, for reporting at the end of a campaign.
+
+Serial paths reuse this cache's already-traced scenes, so mixing
+``traced()``-based experiments (depth figures) with sweeps never traces
+a scene twice in-process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.core.results import SimulationResult
+from repro.experiments.common import WorkloadCache, _unique_labels
+from repro.gpu.config import GPUConfig
+from repro.runtime.executor import ExecutionPolicy, run_jobs
+from repro.runtime.job import SimulationJob
+from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.store import ResultStore
+
+
+@dataclass
+class CachedWorkloadCache(WorkloadCache):
+    """Workload cache backed by the runtime executor and result store.
+
+    ``store=None`` disables persistence (every simulation recomputes);
+    the default :class:`ExecutionPolicy` auto-sizes the worker pool to
+    the machine.
+    """
+
+    store: Optional[ResultStore] = None
+    policy: ExecutionPolicy = field(default_factory=ExecutionPolicy)
+    metrics: RuntimeMetrics = field(default_factory=RuntimeMetrics)
+
+    def job_for(
+        self, name: str, config: GPUConfig, verify_pops: bool = False
+    ) -> SimulationJob:
+        """The content-addressed job for one (scene, config) cell."""
+        return SimulationJob.from_params(
+            name,
+            config,
+            params=self.params,
+            max_bounces=self.max_bounces,
+            verify_pops=verify_pops,
+        )
+
+    def simulate(
+        self, name: str, config: GPUConfig, verify_pops: bool = False
+    ) -> SimulationResult:
+        """Time one scene under one configuration, store-first."""
+        job = self.job_for(name, config, verify_pops)
+        self.metrics.jobs_total += 1
+        if self.store is not None:
+            hit = self.store.get(job.key())
+            if hit is not None:
+                self.metrics.cache_hits += 1
+                return hit
+        result = super().simulate(name, config, verify_pops)
+        self.metrics.simulated += 1
+        if self.store is not None:
+            self.store.put(job.key(), result, spec=job.spec())
+        return result
+
+    def _local_run(self, job: SimulationJob) -> SimulationResult:
+        """Serial runner reusing this cache's traced scenes."""
+        return WorkloadCache.simulate(self, job.scene, job.config,
+                                      job.verify_pops)
+
+    def sweep(
+        self, configs: Sequence[GPUConfig], verify_pops: bool = False
+    ) -> Dict[str, Dict[str, SimulationResult]]:
+        """Run every (scene, config) pair through the runtime.
+
+        Same shape and values as the serial base class — the simulation
+        is deterministic, so store hits and pool results are
+        bit-identical to freshly computed ones.
+        """
+        labels = _unique_labels(configs)
+        names = self.names
+        jobs = [
+            self.job_for(name, config, verify_pops)
+            for name in names
+            for config in configs
+        ]
+        report = run_jobs(
+            jobs,
+            store=self.store,
+            policy=self.policy,
+            serial_runner=self._local_run,
+        )
+        self.metrics.merge(report.metrics)
+        flat = iter(report.results)
+        return {
+            name: {label: next(flat) for label in labels} for name in names
+        }
+
+
+def runtime_cache(
+    params=None,
+    scene_names=None,
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
+    cache_dir=None,
+    timeout: Optional[float] = None,
+    progress: bool = False,
+) -> CachedWorkloadCache:
+    """Build a :class:`CachedWorkloadCache` from user-facing knobs.
+
+    The translation used by ``run_all`` and the CLI: ``jobs`` is the
+    worker count (``None`` auto-sizes, ``1`` forces serial),
+    ``use_cache=False`` drops the persistent store entirely, and
+    ``cache_dir`` overrides the store location (default
+    ``~/.cache/repro-sms`` or ``$REPRO_CACHE_DIR``).
+    """
+    from repro.workloads.params import DEFAULT_PARAMS
+
+    return CachedWorkloadCache(
+        params=params or DEFAULT_PARAMS,
+        scene_names=scene_names,
+        store=ResultStore(cache_dir) if use_cache else None,
+        policy=ExecutionPolicy(workers=jobs, timeout=timeout,
+                               progress=progress),
+    )

@@ -1,0 +1,278 @@
+"""Process-pool job executor with retry, timeout and serial fallback.
+
+:func:`run_jobs` resolves a list of jobs against the result store and a
+``concurrent.futures.ProcessPoolExecutor``:
+
+1. every job's content key is checked against the store (cache hits are
+   free and bit-identical, since the simulation is deterministic);
+2. identical jobs within one call are deduplicated and computed once;
+3. misses run on a bounded pool of worker processes — each failure is
+   retried with linear backoff up to the policy's retry budget, each
+   job has an optional wall-clock timeout, and a broken pool (a worker
+   killed by the OS, say) degrades the remaining jobs to serial
+   in-process execution rather than failing the sweep;
+4. completed results are written back to the store.
+
+Results come back in job order; jobs that can never succeed raise
+:class:`~repro.errors.JobExecutionError` after exhausting retries.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.errors import JobExecutionError
+from repro.runtime.metrics import ProgressReporter, RuntimeMetrics
+from repro.runtime.store import ResultStore
+
+#: Seconds between timeout checks while futures are in flight.
+_TIMEOUT_TICK = 0.05
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Executor knobs for one sweep.
+
+    ``workers=None`` auto-sizes to the machine (``os.cpu_count()``,
+    capped by the number of distinct pending jobs); ``workers<=1`` runs
+    serially in-process with no pool at all.  ``timeout`` bounds each
+    job's wall-clock seconds in a worker — an expired job is cancelled
+    and re-run serially in-process (where it cannot be preempted but
+    also cannot be lost).  ``retries`` is the number of *additional*
+    attempts after a failure, each preceded by ``backoff * attempt``
+    seconds of sleep.
+    """
+
+    workers: Optional[int] = None
+    timeout: Optional[float] = None
+    retries: int = 2
+    backoff: float = 0.1
+    progress: bool = False
+
+    def effective_workers(self, pending: int) -> int:
+        """Pool size for ``pending`` distinct jobs under this policy."""
+        workers = self.workers if self.workers is not None else os.cpu_count() or 1
+        return max(1, min(workers, pending))
+
+
+@dataclass
+class RunReport:
+    """What a :func:`run_jobs` call produced."""
+
+    #: One result per submitted job, in submission order.
+    results: List[Any]
+    #: Counters and latencies for the run.
+    metrics: RuntimeMetrics
+
+
+@dataclass
+class _JobState:
+    """Dispatch bookkeeping for one distinct job."""
+
+    job: Any
+    key: str
+    indices: List[int] = field(default_factory=list)
+    attempts: int = 0
+
+
+def _execute(job):
+    """Worker entry point: run the job (module-level, so it pickles)."""
+    return job.run()
+
+
+def run_jobs(
+    jobs: Sequence,
+    store: Optional[ResultStore] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    serial_runner: Optional[Callable] = None,
+) -> RunReport:
+    """Resolve every job via store, pool, or serial fallback.
+
+    ``jobs`` may be :class:`~repro.runtime.job.SimulationJob` instances
+    or any picklable object with ``key() -> str`` and ``run()``.
+    ``serial_runner`` overrides how jobs execute on the serial paths
+    (in-process sweeps reuse already-traced scenes this way); worker
+    processes always call ``job.run()``.
+    """
+    policy = policy or ExecutionPolicy()
+    jobs = list(jobs)
+    metrics = RuntimeMetrics(jobs_total=len(jobs))
+    progress = ProgressReporter(enabled=policy.progress)
+    results: List[Any] = [None] * len(jobs)
+    started = time.monotonic()
+
+    # Store lookups + same-run deduplication.
+    pending: "OrderedDict[str, _JobState]" = OrderedDict()
+    for index, job in enumerate(jobs):
+        key = job.key()
+        state = pending.get(key)
+        if state is not None:
+            state.indices.append(index)
+            metrics.deduplicated += 1
+            continue
+        if store is not None:
+            hit = store.get(key)
+            if hit is not None:
+                results[index] = hit
+                metrics.cache_hits += 1
+                progress.update(metrics)
+                continue
+        pending[key] = _JobState(job=job, key=key, indices=[index])
+
+    states = list(pending.values())
+    try:
+        if states:
+            workers = policy.effective_workers(len(states))
+            if workers <= 1:
+                _run_serial(states, results, store, policy, metrics,
+                            progress, serial_runner)
+            else:
+                _run_parallel(states, results, store, policy, metrics,
+                              progress, serial_runner, workers)
+    finally:
+        metrics.running = 0
+        metrics.elapsed_seconds = time.monotonic() - started
+        progress.close(metrics)
+    return RunReport(results=results, metrics=metrics)
+
+
+def _record(state, value, results, store, metrics) -> None:
+    """File a finished job's value under every index that wants it."""
+    for index in state.indices:
+        results[index] = value
+    metrics.simulated += 1
+    if store is not None and hasattr(value, "to_dict"):
+        spec = state.job.spec() if hasattr(state.job, "spec") else None
+        store.put(state.key, value, spec=spec)
+
+
+def _describe(job) -> str:
+    return job.describe() if hasattr(job, "describe") else repr(job)
+
+
+def _run_one_serial(state, policy, metrics, serial_runner):
+    """One job in-process, honoring the retry budget."""
+    runner = serial_runner or _execute
+    while True:
+        try:
+            return runner(state.job)
+        except Exception as exc:
+            if state.attempts >= policy.retries:
+                metrics.failed += 1
+                raise JobExecutionError(
+                    f"job {_describe(state.job)} failed after "
+                    f"{state.attempts + 1} attempt(s): {exc}"
+                ) from exc
+            state.attempts += 1
+            metrics.retries += 1
+            time.sleep(policy.backoff * state.attempts)
+
+
+def _run_serial(states, results, store, policy, metrics, progress,
+                serial_runner) -> None:
+    """Serial in-process execution (workers<=1, or fallback)."""
+    for state in states:
+        metrics.running = 1
+        progress.update(metrics)
+        begun = time.monotonic()
+        value = _run_one_serial(state, policy, metrics, serial_runner)
+        metrics.job_seconds.append(time.monotonic() - begun)
+        metrics.running = 0
+        _record(state, value, results, store, metrics)
+        progress.update(metrics)
+
+
+def _run_parallel(states, results, store, policy, metrics, progress,
+                  serial_runner, workers) -> None:
+    """Pool execution with retry, per-job timeout, and degradation.
+
+    Jobs are dispatched one per free worker slot (so a job's timeout
+    clock starts when it can actually start running, not when it is
+    queued).  Timeouts and a broken pool both divert jobs to
+    ``fallback``, which re-runs them serially in this process.
+    """
+    queue = deque(states)
+    in_flight = {}  # future -> (state, start time)
+    fallback: List[_JobState] = []
+    broken = False
+    abandoned = False  # a timed-out task is still occupying a worker
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        while queue or in_flight:
+            while queue and len(in_flight) < workers and not broken:
+                state = queue.popleft()
+                try:
+                    future = pool.submit(_execute, state.job)
+                except RuntimeError:  # pool broken or shut down
+                    broken = True
+                    fallback.append(state)
+                    break
+                in_flight[future] = (state, time.monotonic())
+            metrics.running = len(in_flight)
+            progress.update(metrics)
+            if not in_flight:
+                if broken:
+                    fallback.extend(queue)
+                    queue.clear()
+                    break
+                continue
+            tick = _TIMEOUT_TICK if policy.timeout is not None else None
+            done, _ = wait(
+                list(in_flight), timeout=tick, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                state, begun = in_flight.pop(future)
+                try:
+                    value = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    fallback.append(state)
+                except Exception as exc:
+                    if state.attempts >= policy.retries:
+                        metrics.failed += 1
+                        raise JobExecutionError(
+                            f"job {_describe(state.job)} failed after "
+                            f"{state.attempts + 1} attempt(s): {exc}"
+                        ) from exc
+                    state.attempts += 1
+                    metrics.retries += 1
+                    time.sleep(policy.backoff * state.attempts)
+                    queue.append(state)
+                else:
+                    metrics.job_seconds.append(time.monotonic() - begun)
+                    _record(state, value, results, store, metrics)
+                    progress.update(metrics)
+            if broken:
+                fallback.extend(state for state, _ in in_flight.values())
+                in_flight.clear()
+                fallback.extend(queue)
+                queue.clear()
+                break
+            if policy.timeout is not None:
+                now = time.monotonic()
+                for future, (state, begun) in list(in_flight.items()):
+                    if now - begun > policy.timeout:
+                        if not future.cancel():
+                            abandoned = True
+                        del in_flight[future]
+                        metrics.timeouts += 1
+                        fallback.append(state)
+    finally:
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        if abandoned:
+            # Every live result is already collected, so any worker still
+            # busy is running a task nobody wants; don't let it keep the
+            # interpreter (or the next sweep's CPUs) hostage.
+            for process in processes:
+                process.terminate()
+    if fallback:
+        metrics.serial_fallbacks += len(fallback)
+        _run_serial(fallback, results, store, policy, metrics, progress,
+                    serial_runner)

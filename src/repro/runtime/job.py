@@ -1,0 +1,178 @@
+"""The job model: one simulation as a pure, content-addressed spec.
+
+A :class:`SimulationJob` pins down everything that determines a
+:class:`~repro.core.results.SimulationResult` — the scene, the full
+:class:`~repro.gpu.config.GPUConfig`, and the workload resolution knobs
+— in a frozen, picklable dataclass.  Because tracing and timing are both
+deterministic, two jobs with equal specs produce bit-identical results,
+so the spec's SHA-256 digest (:meth:`SimulationJob.key`) is a valid
+content address for the result store.
+
+The key also folds in a *code-version salt* (:func:`cache_salt`): bump
+``repro.__version__`` (or set ``REPRO_CACHE_SALT``) and every previously
+stored result is invalidated at once, because no new key can collide
+with an old one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.gpu.config import GPUConfig
+from repro.workloads.params import DEFAULT_PARAMS, WorkloadParams
+
+#: Bump when the stored-result layout changes incompatibly.
+CACHE_SCHEMA_VERSION = 1
+
+#: Traced workloads memoized per process (see :func:`_workload_traces`).
+_TRACE_MEMO_CAPACITY = 4
+
+_TRACE_MEMO: "OrderedDict[tuple, Tuple[str, list]]" = OrderedDict()
+
+
+def cache_salt() -> str:
+    """The code-version salt mixed into every job key.
+
+    Combines the package version with the store schema version; the
+    ``REPRO_CACHE_SALT`` environment variable is appended when set (handy
+    for forcing a cold sweep without touching the store on disk).
+    """
+    import repro
+
+    salt = f"repro-{repro.__version__}/schema-{CACHE_SCHEMA_VERSION}"
+    extra = os.environ.get("REPRO_CACHE_SALT")
+    return f"{salt}/{extra}" if extra else salt
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """One (scene, configuration, workload) cell of a sweep.
+
+    Frozen and built only from hashable primitives (``GPUConfig`` is a
+    frozen dataclass), so jobs can be dict keys, pickled to worker
+    processes, and digested into content-address keys.
+    """
+
+    scene: str
+    config: GPUConfig
+    width: int
+    height: int
+    spp: int = 1
+    max_bounces: int = 3
+    seed: int = 0
+    verify_pops: bool = False
+
+    @classmethod
+    def from_params(
+        cls,
+        scene: str,
+        config: GPUConfig,
+        params: WorkloadParams = DEFAULT_PARAMS,
+        max_bounces: Optional[int] = None,
+        verify_pops: bool = False,
+    ) -> "SimulationJob":
+        """Build a job resolving the two-tier resolution scheme.
+
+        Mirrors :class:`~repro.experiments.common.WorkloadCache`: complex
+        scenes get the reduced tier of ``params``, and ``max_bounces``
+        (when given) overrides the params' bounce budget.
+        """
+        width, height, spp = params.for_scene(scene)
+        return cls(
+            scene=scene.upper(),
+            config=config,
+            width=width,
+            height=height,
+            spp=spp,
+            max_bounces=(
+                max_bounces if max_bounces is not None else params.max_bounces
+            ),
+            seed=params.seed,
+            verify_pops=verify_pops,
+        )
+
+    def spec(self) -> Dict:
+        """The canonical, JSON-serializable description of this job.
+
+        Includes the :func:`cache_salt`, so the digest of this dict is
+        automatically invalidated by version bumps.
+        """
+        return {
+            "scene": self.scene,
+            "config": asdict(self.config),
+            "width": self.width,
+            "height": self.height,
+            "spp": self.spp,
+            "max_bounces": self.max_bounces,
+            "seed": self.seed,
+            "verify_pops": self.verify_pops,
+            "salt": cache_salt(),
+        }
+
+    def key(self) -> str:
+        """Deterministic content-address: SHA-256 of the canonical spec."""
+        blob = json.dumps(self.spec(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def run(self):
+        """Execute the job in this process and return the result.
+
+        Pure with respect to the spec: no reliance on ambient state
+        beyond the deterministic scene generators, so it is safe to run
+        in any worker process.  Traces are memoized per process (keyed by
+        everything but the config), so a worker that draws several
+        configurations of the same scene traces it once.
+        """
+        from repro.core.api import time_traces
+
+        scene_name, traces = _workload_traces(self)
+        return time_traces(
+            traces,
+            config=self.config,
+            scene_name=scene_name,
+            verify_pops=self.verify_pops,
+        )
+
+    def describe(self) -> str:
+        """Short human-readable label (scene + config label)."""
+        return f"{self.scene}/{self.config.describe()}"
+
+
+def _workload_traces(job: SimulationJob) -> Tuple[str, List]:
+    """Trace the job's workload, memoizing per process (small LRU).
+
+    The memo key deliberately excludes the GPU configuration — phase one
+    is configuration-independent, which is the whole point of the
+    two-phase split.
+    """
+    memo_key = (
+        job.scene, job.width, job.height, job.spp, job.max_bounces, job.seed
+    )
+    cached = _TRACE_MEMO.get(memo_key)
+    if cached is not None:
+        _TRACE_MEMO.move_to_end(memo_key)
+        return cached
+    from repro.bvh.api import build_bvh
+    from repro.trace.path import generate_workload
+    from repro.workloads.lumibench import load_scene
+
+    scene = load_scene(job.scene)
+    bvh = build_bvh(scene)
+    workload = generate_workload(
+        bvh,
+        width=job.width,
+        height=job.height,
+        spp=job.spp,
+        max_bounces=job.max_bounces,
+        seed=job.seed,
+    )
+    entry = (scene.name, workload.all_traces)
+    _TRACE_MEMO[memo_key] = entry
+    while len(_TRACE_MEMO) > _TRACE_MEMO_CAPACITY:
+        _TRACE_MEMO.popitem(last=False)
+    return entry

@@ -1,0 +1,115 @@
+"""Persistent, content-addressed result store (JSON file per key).
+
+Layout: ``<root>/<key[:2]>/<key>.json`` — two-level sharding keeps
+directory listings small on big sweeps.  Each file records the store
+schema version, the job spec that produced it (for debuggability), and
+the serialized :class:`~repro.core.results.SimulationResult`.
+
+Invalidation is purely key-based: the job key already digests the full
+spec plus the code-version salt, so changed configs or a version bump
+simply miss.  Stale entries are garbage, not hazards; ``clear()`` or a
+plain ``rm -r`` reclaims the space.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent sweeps
+sharing a store never observe torn files; unparseable or
+schema-mismatched entries are treated as misses and deleted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from repro.core.results import SimulationResult
+
+#: Default store location; override per-store or via ``REPRO_CACHE_DIR``.
+DEFAULT_CACHE_DIR = Path("~/.cache/repro-sms")
+
+#: On-disk payload schema; mismatched entries read as misses.
+STORE_SCHEMA_VERSION = 1
+
+
+class ResultStore:
+    """On-disk map from job key to simulation result."""
+
+    def __init__(self, root=None):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+        self.root = Path(root).expanduser()
+
+    def path_for(self, key: str) -> Path:
+        """Where a given key lives (whether or not it exists yet)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The stored result for ``key``, or ``None`` on a miss.
+
+        Corrupt or schema-mismatched files are removed and read as
+        misses, so a store poisoned by an interrupted legacy writer
+        heals itself.
+        """
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != STORE_SCHEMA_VERSION:
+                raise ValueError("schema mismatch")
+            return SimulationResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            return None
+        except (ValueError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(
+        self, key: str, result: SimulationResult, spec: Optional[Dict] = None
+    ) -> Path:
+        """Persist ``result`` under ``key`` atomically; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": STORE_SCHEMA_VERSION,
+            "key": key,
+            "created": time.time(),
+            "spec": spec,
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def keys(self) -> Iterator[str]:
+        """All keys currently stored."""
+        if not self.root.exists():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def size_bytes(self) -> int:
+        """Total bytes the store occupies on disk."""
+        if not self.root.exists():
+            return 0
+        return sum(path.stat().st_size for path in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for key in list(self.keys()):
+            try:
+                self.path_for(key).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,5 +1,7 @@
 """Shared fixtures: small deterministic scenes, BVHs and traces."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -7,6 +9,24 @@ from repro.bvh.api import build_bvh
 from repro.scene.generators import grid_mesh, merge_meshes, scatter_mesh
 from repro.scene.scene import Scene
 from repro.trace.path import generate_workload
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_store(tmp_path_factory):
+    """Point the runtime result store at a per-session temp directory.
+
+    Keeps the suite hermetic: tests never read results persisted by a
+    different (possibly older) checkout under ``~/.cache/repro-sms``,
+    and never pollute the user's store — while cache-hit behavior
+    *within* a session still works and is testable.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-store"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,87 @@
+"""Result store tests: round-trip, misses, corruption healing, admin."""
+
+import json
+
+import pytest
+
+from repro.core.presets import named_config
+from repro.runtime.job import SimulationJob
+from repro.runtime.store import STORE_SCHEMA_VERSION, ResultStore
+from repro.workloads.params import WorkloadParams
+
+PARAMS = WorkloadParams().scaled(0.25)
+
+
+@pytest.fixture(scope="module")
+def job_and_result():
+    job = SimulationJob.from_params("SHIP", named_config("RB_8"), PARAMS)
+    return job, job.run()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+def test_roundtrip_is_exact(store, job_and_result):
+    job, result = job_and_result
+    store.put(job.key(), result, spec=job.spec())
+    loaded = store.get(job.key())
+    assert loaded == result
+    assert loaded.config == result.config
+    assert loaded.counters == result.counters
+    assert loaded.depth_stats == result.depth_stats
+    assert loaded.ipc == result.ipc
+
+
+def test_missing_key_is_none(store):
+    assert store.get("0" * 64) is None
+    assert ("0" * 64) not in store
+
+
+def test_contains_and_len(store, job_and_result):
+    job, result = job_and_result
+    assert len(store) == 0
+    store.put(job.key(), result)
+    assert job.key() in store
+    assert len(store) == 1
+    assert list(store.keys()) == [job.key()]
+
+
+def test_corrupt_entry_reads_as_miss_and_heals(store, job_and_result):
+    job, result = job_and_result
+    path = store.put(job.key(), result)
+    path.write_text("{not json")
+    assert store.get(job.key()) is None
+    assert not path.exists()  # corrupt file removed
+
+
+def test_schema_mismatch_reads_as_miss(store, job_and_result):
+    job, result = job_and_result
+    path = store.put(job.key(), result)
+    payload = json.loads(path.read_text())
+    payload["schema"] = STORE_SCHEMA_VERSION + 1
+    path.write_text(json.dumps(payload))
+    assert store.get(job.key()) is None
+
+
+def test_clear_and_size(store, job_and_result):
+    job, result = job_and_result
+    store.put(job.key(), result)
+    assert store.size_bytes() > 0
+    assert store.clear() == 1
+    assert len(store) == 0
+    assert store.size_bytes() == 0
+
+
+def test_default_dir_honors_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envstore"))
+    assert ResultStore().root == tmp_path / "envstore"
+
+
+def test_spec_recorded_for_debugging(store, job_and_result):
+    job, result = job_and_result
+    path = store.put(job.key(), result, spec=job.spec())
+    payload = json.loads(path.read_text())
+    assert payload["spec"]["scene"] == "SHIP"
+    assert payload["key"] == job.key()

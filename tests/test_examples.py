@@ -1,5 +1,6 @@
 """Smoke tests for the runnable examples (the fast ones, end to end)."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -10,12 +11,27 @@ REPO = Path(__file__).parent.parent
 EXAMPLES = REPO / "examples"
 
 
-def run_example(name, *args, timeout=240):
+def example_env():
+    """Subprocess environment with the package importable.
+
+    The examples import ``repro`` from the src layout; an absolute
+    ``PYTHONPATH`` entry keeps them runnable from any working directory
+    (a relative ``PYTHONPATH=src`` breaks as soon as cwd is a tmp dir).
+    """
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+def run_example(name, *args, timeout=240, cwd=REPO):
     return subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
-        cwd=REPO,
+        cwd=cwd,
+        env=example_env(),
         timeout=timeout,
     )
 
@@ -42,13 +58,7 @@ def test_overhead_report():
 
 
 def test_render_image(tmp_path):
-    result = subprocess.run(
-        [sys.executable, str(EXAMPLES / "render_image.py"), "SHIP", "16"],
-        capture_output=True,
-        text=True,
-        cwd=tmp_path,
-        timeout=240,
-    )
+    result = run_example("render_image.py", "SHIP", "16", cwd=tmp_path)
     assert result.returncode == 0, result.stderr
     ppm = tmp_path / "render_ship.ppm"
     assert ppm.exists()
@@ -72,6 +82,7 @@ def test_warp_timeline(tmp_path):
         "design_space_sweep.py",
         "energy_comparison.py",
         "campaign_export.py",
+        "parallel_campaign.py",
     ],
 )
 def test_example_compiles(name):
