@@ -16,6 +16,9 @@ Installed as ``python -m repro``.  Commands:
     Print the SMS hardware-overhead analysis (paper VI-C).
 ``cache``
     Inspect or clear the persistent result store.
+``chaos``
+    Run the fault-injection campaign: verify the guard detects every
+    fault class and that a clean guarded run is bit-identical.
 """
 
 from __future__ import annotations
@@ -45,6 +48,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(sim)
     sim.add_argument("--config", default="RB_8+SH_8+SK+RA",
                      help="configuration label, e.g. RB_8 or RB_8+SH_8+SK+RA")
+    _add_guard_args(sim)
 
     cmp_cmd = sub.add_parser("compare", help="compare configurations on one scene")
     _add_workload_args(cmp_cmd)
@@ -70,7 +74,25 @@ def build_parser() -> argparse.ArgumentParser:
                            "~/.cache/repro-sms or $REPRO_CACHE_DIR)")
     cache_cmd.add_argument("--clear", action="store_true",
                            help="delete every stored result")
+
+    chaos = sub.add_parser(
+        "chaos", help="run the guard fault-injection campaign"
+    )
+    chaos.add_argument("--faults", default="",
+                       help="comma-separated fault classes (default: all)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="campaign seed (fault trigger points)")
+    chaos.add_argument("--rays", type=int, default=128,
+                       help="synthetic workload size")
     return parser
+
+
+def _add_guard_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--guard", action="store_true",
+                        help="enable the simulation integrity layer "
+                        "(invariant checks + watchdog)")
+    parser.add_argument("--max-cycles", type=int, default=None,
+                        help="watchdog cycle budget (implies --guard)")
 
 
 def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
@@ -134,11 +156,22 @@ def _trace(args) -> "tuple":
 
 def _cmd_simulate(args) -> int:
     scene, workload = _trace(args)
+    guard = None
+    if args.guard or args.max_cycles is not None:
+        from repro.guard import GuardConfig
+
+        guard = GuardConfig(max_cycles=args.max_cycles)
     result = time_traces(
-        workload.all_traces, named_config(args.config), scene_name=scene.name
+        workload.all_traces, named_config(args.config), scene_name=scene.name,
+        guard=guard,
     )
     counters = result.counters
     print(f"config   : {result.label}")
+    if guard is not None:
+        budget = (
+            f", max_cycles={args.max_cycles}" if args.max_cycles else ""
+        )
+        print(f"guard    : invariants + watchdog{budget} (no violations)")
     print(f"IPC      : {result.ipc:.4f}  ({result.cycles} cycles)")
     print(f"off-chip : {result.offchip_accesses} DRAM transactions")
     print(
@@ -207,10 +240,32 @@ def _cmd_cache(args) -> int:
         print(f"cleared {removed} stored results from {store.root}")
         return 0
     count = len(store)
+    failures = sum(1 for _ in store.failures())
     print(f"store    : {store.root}")
     print(f"entries  : {count}")
     print(f"disk     : {store.size_bytes() / 1024:.1f} KB")
+    if failures:
+        print(f"failures : {failures} recorded guard violations "
+              f"(see {store.root / 'failures'})")
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.guard import FAULT_CLASSES, run_chaos_campaign
+
+    kinds = [k.strip() for k in args.faults.split(",") if k.strip()] or None
+    if kinds:
+        unknown = sorted(set(kinds) - set(FAULT_CLASSES))
+        if unknown:
+            print(
+                f"error: unknown fault class(es) {', '.join(unknown)}; "
+                f"choose from {', '.join(FAULT_CLASSES)}",
+                file=sys.stderr,
+            )
+            return 2
+    report = run_chaos_campaign(kinds=kinds, seed=args.seed, rays=args.rays)
+    print(report.summary())
+    return 0 if report.all_detected else 1
 
 
 def _cmd_overhead() -> int:
@@ -235,6 +290,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_overhead()
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         parser.error(f"unknown command {args.command!r}")
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

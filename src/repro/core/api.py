@@ -43,9 +43,14 @@ def time_traces(
     config: Optional[GPUConfig] = None,
     scene_name: str = "",
     verify_pops: bool = True,
+    guard=None,
 ) -> SimulationResult:
-    """Phase two: replay traces through the timing model."""
-    simulator = GPUSimulator(config=config, verify_pops=verify_pops)
+    """Phase two: replay traces through the timing model.
+
+    ``guard`` (a :class:`~repro.guard.config.GuardConfig`) enables the
+    simulation integrity layer for this run.
+    """
+    simulator = GPUSimulator(config=config, verify_pops=verify_pops, guard=guard)
     output = simulator.run_traces(traces)
     return SimulationResult(
         scene_name=scene_name,

@@ -25,6 +25,10 @@ from repro.gpu.counters import Counters
 from repro.gpu.hierarchy import MemoryHierarchy
 from repro.gpu.sharedmem import SharedMemorySim
 from repro.gpu.warp import Warp
+from repro.guard.chaos import ChaosController
+from repro.guard.config import GuardConfig
+from repro.guard.invariants import InvariantChecker
+from repro.guard.watchdog import ProgressWatchdog
 from repro.stack.base import StackModel
 from repro.stack.factory import make_stack_model
 from repro.stack.ops import MemSpace, OpKind, StackActivity
@@ -42,12 +46,14 @@ class RTUnit:
         counters: Counters,
         sm_id: int = 0,
         verify_pops: bool = True,
+        guard: Optional[GuardConfig] = None,
     ) -> None:
         self.config = config
         self.hierarchy = hierarchy
         self.counters = counters
         self.sm_id = sm_id
         self.verify_pops = verify_pops
+        self.guard = guard
         self.sharedmem = SharedMemorySim(config)
         if config.inter_warp_realloc and config.rb_stack_entries is not None:
             # One shared stack model spans every warp slot of the unit so
@@ -78,6 +84,33 @@ class RTUnit:
                 )
                 for slot in range(config.max_warps_per_rt_unit)
             ]
+        # Integrity layer (opt-in): chaos wraps innermost so injected
+        # faults look like real bugs to the checker wrapped around it.
+        self._chaos: Optional[ChaosController] = None
+        self._checker: Optional[InvariantChecker] = None
+        self._watchdog: Optional[ProgressWatchdog] = None
+        if guard is not None:
+            if guard.chaos is not None:
+                self._chaos = ChaosController(guard.chaos)
+                self._stacks = [
+                    self._chaos.wrap_stack(stack, slot)
+                    for slot, stack in enumerate(self._stacks)
+                ]
+            if guard.invariants:
+                self._checker = InvariantChecker(
+                    counters, sm_id=sm_id, deep_check=guard.deep_check
+                )
+                self._stacks = [
+                    self._checker.wrap(stack, slot)
+                    for slot, stack in enumerate(self._stacks)
+                ]
+            if guard.watchdog:
+                self._watchdog = ProgressWatchdog(
+                    sm_id=sm_id,
+                    max_cycles=guard.max_cycles,
+                    stall_window=guard.stall_window,
+                    history=guard.history,
+                )
 
     # ------------------------------------------------------------------
     # top-level run loop
@@ -105,10 +138,18 @@ class RTUnit:
             warp, slot = self._pick_warp(resident, greedy_warp_id)
             greedy_warp_id = warp.warp_id
             start = max(warp.ready_time, pipeline_free)
+            if self._checker is not None:
+                self._checker.begin_iteration(cycle=start, warp_id=warp.warp_id)
             end, issue_cycles = self._execute_iteration(warp, self._stacks[slot], start)
             pipeline_free = start + issue_cycles
             warp.ready_time = end
             completion = max(completion, end)
+            if self._checker is not None:
+                self._checker.verify(cycle=end, warp_id=warp.warp_id, slot=slot)
+            if self._watchdog is not None:
+                self._watchdog.observe(
+                    warp, slot, start, end, stack=self._stacks[slot]
+                )
             if warp.done:
                 resident.remove((warp, slot))
                 free_slots.append(slot)
@@ -141,7 +182,17 @@ class RTUnit:
         counters = self.counters
         active = warp.active_lanes()
         if not active:
-            raise SimulationError("scheduled a warp with no active lanes")
+            raise SimulationError(
+                "scheduled a warp with no active lanes",
+                sm_id=self.sm_id, warp_id=warp.warp_id,
+                component="scheduler",
+            )
+        # Chaos harness hooks: unit-level faults fire here so the guard
+        # layer sees them exactly where a real bug would surface.
+        stuck = False
+        if self._chaos is not None:
+            self._chaos.tick(counters)
+            stuck = self._chaos.stuck(warp)
 
         # Phase 1: node fetch.  The memory scheduler coalesces the active
         # lanes' node reads into unique cache lines, issuing one per cycle.
@@ -189,13 +240,14 @@ class RTUnit:
         for lane in active:
             step = warp.current_step(lane)
             activity = StackActivity()
-            for address in step.pushes:
-                activity = activity.merge(stack.push(lane, address))
-            if step.popped:
-                value, pop_activity = stack.pop(lane)
-                activity = activity.merge(pop_activity)
-                if self.verify_pops:
-                    self._verify_pop(warp, lane, value)
+            if not stuck:
+                for address in step.pushes:
+                    activity = activity.merge(stack.push(lane, address))
+                if step.popped:
+                    value, pop_activity = stack.pop(lane)
+                    activity = activity.merge(pop_activity)
+                    if self.verify_pops:
+                        self._verify_pop(warp, lane, value)
             chains.append(activity)
             counters.instructions += 1 + step.tests
         stack_start = max(t, warp.stack_free)
@@ -206,8 +258,12 @@ class RTUnit:
         t = max(t, stack_start + stack_port_cycles)
 
         # Advance cursors; lanes that drain their traces retire and (under
-        # SMS reallocation) free their SH stacks for borrowing.
+        # SMS reallocation) free their SH stacks for borrowing.  A warp
+        # stuck by the chaos harness keeps its cursors frozen — the
+        # watchdog's job is to notice.
         for lane in active:
+            if stuck:
+                continue
             warp.advance(lane)
             if not warp.lane_active(lane):
                 stack.finish(lane)
@@ -223,13 +279,17 @@ class RTUnit:
         trace = warp.traces[lane]
         if cursor + 1 >= len(trace.steps):
             raise SimulationError(
-                f"ray {trace.ray_id} popped at its final step"
+                f"ray {trace.ray_id} popped at its final step",
+                sm_id=self.sm_id, warp_id=warp.warp_id, lane=lane,
+                component="stack",
             )
         expected = trace.steps[cursor + 1].address
         if value != expected:
             raise SimulationError(
                 f"ray {trace.ray_id}: popped {value:#x}, expected {expected:#x} "
-                f"— stack model corrupted LIFO order"
+                f"— stack model corrupted LIFO order",
+                sm_id=self.sm_id, warp_id=warp.warp_id, lane=lane,
+                component="stack",
             )
 
     def _price_stack_chains(
@@ -308,6 +368,7 @@ class RTUnit:
 
     def _harvest_stack_stats(self, stack) -> None:
         """Fold reallocation statistics into the counter set."""
+        stack = getattr(stack, "unwrapped", stack)  # guard/chaos wrappers
         if not isinstance(stack, SmsStack):
             stack = getattr(stack, "shared", None)  # SlotView -> shared model
         if isinstance(stack, SmsStack):

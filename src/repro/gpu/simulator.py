@@ -49,11 +49,23 @@ class SimOutput:
 
 
 class GPUSimulator:
-    """Times a traced workload under a given configuration."""
+    """Times a traced workload under a given configuration.
 
-    def __init__(self, config: Optional[GPUConfig] = None, verify_pops: bool = True) -> None:
+    ``guard`` (a :class:`~repro.guard.config.GuardConfig`) opts into the
+    integrity layer: per-drain-step invariant checking and the
+    forward-progress watchdog.  Guards observe without perturbing, so
+    guarded counters are bit-identical to unguarded ones.
+    """
+
+    def __init__(
+        self,
+        config: Optional[GPUConfig] = None,
+        verify_pops: bool = True,
+        guard=None,
+    ) -> None:
         self.config = config or GPUConfig()
         self.verify_pops = verify_pops
+        self.guard = guard
 
     def run_traces(self, traces: Sequence[RayTrace]) -> SimOutput:
         """Simulate a flat list of ray traces (wave order preserved)."""
@@ -79,7 +91,8 @@ class GPUSimulator:
             )
             hierarchy = MemoryHierarchy(config, l2=l2, dram=dram)
             rt_unit = RTUnit(
-                config, hierarchy, counters, sm_id=sm_id, verify_pops=self.verify_pops
+                config, hierarchy, counters, sm_id=sm_id,
+                verify_pops=self.verify_pops, guard=self.guard,
             )
             cycles = rt_unit.run(sm_warps)
             per_sm_cycles.append(cycles)

@@ -1,0 +1,111 @@
+"""Forward-progress watchdog for the RT unit's resident-warp loop.
+
+The RT unit schedules resident warps until all complete.  Healthy
+iterations always advance at least one lane cursor, so the loop
+terminates; a bookkeeping bug (or an injected stuck-warp fault) that
+stops cursors from advancing would otherwise spin forever, with the
+simulated clock climbing and no ray retiring.  The watchdog observes
+every scheduler decision and converts two failure shapes into a
+structured :class:`~repro.errors.SimulationStallError` instead of a
+hang:
+
+* **livelock** — ``stall_window`` consecutive iterations in which no
+  observed warp advanced any cursor;
+* **budget overrun** — the simulated clock exceeded ``max_cycles``.
+
+The error carries the cycle, SM, warp, per-lane stack snapshots of the
+offending warp and the last N scheduler decisions (a ring buffer), so a
+stall deep into a campaign is diagnosable from the exception alone.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.errors import SimulationStallError
+
+#: Lanes shown per snapshot and entries shown per lane, to keep stall
+#: errors readable (full contents are available from the live model).
+_SNAPSHOT_TOP_ENTRIES = 4
+
+
+class ProgressWatchdog:
+    """Detects livelock and cycle-budget overruns in one RT unit."""
+
+    def __init__(
+        self,
+        sm_id: int = 0,
+        max_cycles: Optional[int] = None,
+        stall_window: int = 64,
+        history: int = 32,
+    ) -> None:
+        self.sm_id = sm_id
+        self.max_cycles = max_cycles
+        self.stall_window = stall_window
+        self.decisions: Deque[Dict[str, Any]] = deque(maxlen=history)
+        self._cursor_sums: Dict[int, int] = {}
+        self._no_progress = 0
+
+    def observe(self, warp, slot: int, start: int, end: int, stack=None) -> None:
+        """Record one scheduler decision and check both stall conditions.
+
+        Raises:
+            SimulationStallError: on livelock or budget overrun.
+        """
+        cursor_sum = sum(warp.cursors)
+        self.decisions.append({
+            "warp": warp.warp_id,
+            "slot": slot,
+            "start": start,
+            "end": end,
+            "active_lanes": len(warp.active_lanes()),
+            "cursor_sum": cursor_sum,
+        })
+        previous = self._cursor_sums.get(warp.warp_id)
+        if previous is None or cursor_sum > previous or warp.done:
+            self._no_progress = 0
+        else:
+            self._no_progress += 1
+        self._cursor_sums[warp.warp_id] = cursor_sum
+        if self._no_progress >= self.stall_window:
+            self._stall(
+                f"no forward progress in {self._no_progress} consecutive "
+                f"warp iterations (livelock)",
+                warp, end, stack,
+            )
+        if self.max_cycles is not None and end > self.max_cycles:
+            self._stall(
+                f"cycle budget exceeded: simulated clock reached {end} > "
+                f"max_cycles={self.max_cycles}",
+                warp, end, stack,
+            )
+
+    def _stall(self, message: str, warp, cycle: int, stack) -> None:
+        raise SimulationStallError(
+            message,
+            cycle=cycle,
+            sm_id=self.sm_id,
+            warp_id=warp.warp_id,
+            component="scheduler",
+            stack_snapshots=self._snapshots(warp, stack),
+            decisions=list(self.decisions),
+        )
+
+    def _snapshots(self, warp, stack) -> Dict[int, Dict[str, Any]]:
+        """Per-lane state of the stalled warp: cursor plus stack top."""
+        snapshots: Dict[int, Dict[str, Any]] = {}
+        for lane in range(warp.lane_count):
+            entry: Dict[str, Any] = {
+                "cursor": warp.cursors[lane],
+                "active": warp.lane_active(lane),
+            }
+            if stack is not None:
+                try:
+                    entry["depth"] = stack.depth(lane)
+                    entry["top"] = stack.contents(lane)[-_SNAPSHOT_TOP_ENTRIES:]
+                except Exception:  # a corrupted model must not mask the stall
+                    entry["depth"] = None
+                    entry["top"] = []
+            snapshots[lane] = entry
+        return snapshots

@@ -15,6 +15,12 @@
 
 Results come back in job order; jobs that can never succeed raise
 :class:`~repro.errors.JobExecutionError` after exhausting retries.
+
+Guard violations (:class:`~repro.errors.GuardViolationError`) are
+*deterministic* — the same spec fails the same way every time — so they
+skip the retry budget entirely.  Instead the structured failure is
+recorded in the store's ``failures/`` sidecar (never the result cache)
+and the job raises immediately.
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence
 
-from repro.errors import JobExecutionError
+from repro.errors import GuardViolationError, JobExecutionError
 from repro.runtime.metrics import ProgressReporter, RuntimeMetrics
 from repro.runtime.store import ResultStore
 
@@ -156,19 +162,39 @@ def _describe(job) -> str:
     return job.describe() if hasattr(job, "describe") else repr(job)
 
 
-def _run_one_serial(state, policy, metrics, serial_runner):
+def _give_up(state, exc, store, metrics):
+    """Raise the terminal failure for a job, recording guard violations.
+
+    A :class:`GuardViolationError` is a deterministic integrity failure:
+    retrying cannot help, and caching any partial result would poison
+    the store.  Record it as a structured failure sidecar instead, then
+    surface it wrapped in :class:`JobExecutionError`.
+    """
+    metrics.failed += 1
+    if isinstance(exc, GuardViolationError):
+        if store is not None:
+            spec = state.job.spec() if hasattr(state.job, "spec") else None
+            store.record_failure(state.key, exc, spec=spec)
+        raise JobExecutionError(
+            f"job {_describe(state.job)} violated a simulation "
+            f"integrity guard (not retried): {exc}"
+        ) from exc
+    raise JobExecutionError(
+        f"job {_describe(state.job)} failed after "
+        f"{state.attempts + 1} attempt(s): {exc}"
+    ) from exc
+
+
+def _run_one_serial(state, policy, metrics, serial_runner, store=None):
     """One job in-process, honoring the retry budget."""
     runner = serial_runner or _execute
     while True:
         try:
             return runner(state.job)
         except Exception as exc:
-            if state.attempts >= policy.retries:
-                metrics.failed += 1
-                raise JobExecutionError(
-                    f"job {_describe(state.job)} failed after "
-                    f"{state.attempts + 1} attempt(s): {exc}"
-                ) from exc
+            if (isinstance(exc, GuardViolationError)
+                    or state.attempts >= policy.retries):
+                _give_up(state, exc, store, metrics)
             state.attempts += 1
             metrics.retries += 1
             time.sleep(policy.backoff * state.attempts)
@@ -181,7 +207,8 @@ def _run_serial(states, results, store, policy, metrics, progress,
         metrics.running = 1
         progress.update(metrics)
         begun = time.monotonic()
-        value = _run_one_serial(state, policy, metrics, serial_runner)
+        value = _run_one_serial(state, policy, metrics, serial_runner,
+                                store=store)
         metrics.job_seconds.append(time.monotonic() - begun)
         metrics.running = 0
         _record(state, value, results, store, metrics)
@@ -234,12 +261,9 @@ def _run_parallel(states, results, store, policy, metrics, progress,
                     broken = True
                     fallback.append(state)
                 except Exception as exc:
-                    if state.attempts >= policy.retries:
-                        metrics.failed += 1
-                        raise JobExecutionError(
-                            f"job {_describe(state.job)} failed after "
-                            f"{state.attempts + 1} attempt(s): {exc}"
-                        ) from exc
+                    if (isinstance(exc, GuardViolationError)
+                            or state.attempts >= policy.retries):
+                        _give_up(state, exc, store, metrics)
                     state.attempts += 1
                     metrics.retries += 1
                     time.sleep(policy.backoff * state.attempts)

@@ -66,6 +66,12 @@ class SimulationJob:
     max_bounces: int = 3
     seed: int = 0
     verify_pops: bool = False
+    #: Run under the integrity layer (:mod:`repro.guard`).  Guards observe
+    #: without perturbing, but the flag is still part of the spec: a
+    #: guarded run that *completes* proves more than an unguarded one.
+    guard: bool = False
+    #: Watchdog cycle budget; only meaningful with ``guard=True``.
+    max_cycles: Optional[int] = None
 
     @classmethod
     def from_params(
@@ -111,6 +117,8 @@ class SimulationJob:
             "max_bounces": self.max_bounces,
             "seed": self.seed,
             "verify_pops": self.verify_pops,
+            "guard": self.guard,
+            "max_cycles": self.max_cycles,
             "salt": cache_salt(),
         }
 
@@ -130,12 +138,18 @@ class SimulationJob:
         """
         from repro.core.api import time_traces
 
+        guard = None
+        if self.guard or self.max_cycles is not None:
+            from repro.guard import GuardConfig
+
+            guard = GuardConfig(max_cycles=self.max_cycles)
         scene_name, traces = _workload_traces(self)
         return time_traces(
             traces,
             config=self.config,
             scene_name=scene_name,
             verify_pops=self.verify_pops,
+            guard=guard,
         )
 
     def describe(self) -> str:

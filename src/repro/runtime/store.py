@@ -11,13 +11,22 @@ simply miss.  Stale entries are garbage, not hazards; ``clear()`` or a
 plain ``rm -r`` reclaims the space.
 
 Writes are atomic (temp file + ``os.replace``), so concurrent sweeps
-sharing a store never observe torn files; unparseable or
-schema-mismatched entries are treated as misses and deleted.
+sharing a store never observe torn files.  Unparseable or
+schema-mismatched entries read as misses, but they are *quarantined* to
+``<root>/corrupt/`` (with a logged warning) rather than deleted — a
+corrupt cache entry is evidence of a writer bug, and evidence should
+survive the read that discovers it.
+
+Guard violations are recorded under ``<root>/failures/`` by
+:meth:`ResultStore.record_failure`: a deterministic integrity failure
+must never be cached as a (partial) result, but *that the job fails, and
+how* is itself worth persisting for diagnosis.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 import time
 from pathlib import Path
@@ -25,11 +34,17 @@ from typing import Dict, Iterator, Optional
 
 from repro.core.results import SimulationResult
 
+logger = logging.getLogger(__name__)
+
 #: Default store location; override per-store or via ``REPRO_CACHE_DIR``.
 DEFAULT_CACHE_DIR = Path("~/.cache/repro-sms")
 
 #: On-disk payload schema; mismatched entries read as misses.
 STORE_SCHEMA_VERSION = 1
+
+#: Shard-directory glob: result entries only (never the ``corrupt/`` or
+#: ``failures/`` sidecars, whose names are not two hex characters).
+_SHARD_GLOB = "[0-9a-f][0-9a-f]/*.json"
 
 
 class ResultStore:
@@ -47,24 +62,42 @@ class ResultStore:
     def get(self, key: str) -> Optional[SimulationResult]:
         """The stored result for ``key``, or ``None`` on a miss.
 
-        Corrupt or schema-mismatched files are removed and read as
-        misses, so a store poisoned by an interrupted legacy writer
-        heals itself.
+        Corrupt or schema-mismatched files read as misses and are moved
+        to ``<root>/corrupt/`` with a logged warning, so a store poisoned
+        by an interrupted legacy writer heals itself without destroying
+        the evidence.
         """
         path = self.path_for(key)
         try:
             payload = json.loads(path.read_text())
             if payload.get("schema") != STORE_SCHEMA_VERSION:
-                raise ValueError("schema mismatch")
+                raise ValueError(
+                    f"schema {payload.get('schema')!r} != "
+                    f"{STORE_SCHEMA_VERSION}"
+                )
             return SimulationResult.from_dict(payload["result"])
         except FileNotFoundError:
             return None
-        except (ValueError, KeyError, TypeError):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except (ValueError, KeyError, TypeError) as error:
+            self._quarantine(path, error)
             return None
+
+    def _quarantine(self, path: Path, error: Exception) -> None:
+        """Move an unreadable entry aside instead of deleting it."""
+        target = self.root / "corrupt" / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            logger.warning(
+                "result store: corrupt entry %s (%s) could not be "
+                "quarantined; leaving it in place", path, error,
+            )
+            return
+        logger.warning(
+            "result store: corrupt entry %s (%s) quarantined to %s",
+            path, error, target,
+        )
 
     def put(
         self, key: str, result: SimulationResult, spec: Optional[Dict] = None
@@ -84,6 +117,63 @@ class ResultStore:
         os.replace(tmp, path)
         return path
 
+    # ------------------------------------------------------------------
+    # structured failures (guard violations)
+    # ------------------------------------------------------------------
+
+    def failure_path_for(self, key: str) -> Path:
+        """Where ``key``'s failure record lives (if any)."""
+        return self.root / "failures" / f"{key}.json"
+
+    def record_failure(
+        self, key: str, error: Exception, spec: Optional[Dict] = None
+    ) -> Path:
+        """Persist a structured failure record for ``key``.
+
+        Used for deterministic failures (guard violations): the result
+        slot stays empty — a partial result must never poison the cache
+        — but the failure itself, with its diagnostic fields, is kept
+        for inspection.  Returns the path written.
+        """
+        path = self.failure_path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        diagnostics = getattr(error, "diagnostics", None)
+        payload = {
+            "schema": STORE_SCHEMA_VERSION,
+            "key": key,
+            "created": time.time(),
+            "spec": spec,
+            "error": {
+                "type": type(error).__name__,
+                "message": getattr(error, "message", str(error)),
+                "rendered": str(error),
+                "diagnostics": diagnostics() if callable(diagnostics) else {},
+            },
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
+    def failure_for(self, key: str) -> Optional[Dict]:
+        """The recorded failure payload for ``key``, or ``None``."""
+        try:
+            return json.loads(self.failure_path_for(key).read_text())
+        except (OSError, ValueError):
+            return None
+
+    def failures(self) -> Iterator[str]:
+        """Keys with a recorded structured failure."""
+        root = self.root / "failures"
+        if not root.exists():
+            return
+        for path in sorted(root.glob("*.json")):
+            yield path.stem
+
+    # ------------------------------------------------------------------
+    # admin
+    # ------------------------------------------------------------------
+
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
 
@@ -91,17 +181,17 @@ class ResultStore:
         """All keys currently stored."""
         if not self.root.exists():
             return
-        for path in sorted(self.root.glob("*/*.json")):
+        for path in sorted(self.root.glob(_SHARD_GLOB)):
             yield path.stem
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
 
     def size_bytes(self) -> int:
-        """Total bytes the store occupies on disk."""
+        """Total bytes the store's result entries occupy on disk."""
         if not self.root.exists():
             return 0
-        return sum(path.stat().st_size for path in self.root.glob("*/*.json"))
+        return sum(path.stat().st_size for path in self.root.glob(_SHARD_GLOB))
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

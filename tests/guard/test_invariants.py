@@ -1,0 +1,181 @@
+"""GuardedStack / InvariantChecker tests: the conservation laws fire.
+
+Each test plants one specific corruption directly in the wrapped model
+(the way a real bookkeeping bug would) and asserts the matching law
+raises a structured :class:`~repro.errors.InvariantViolationError`.
+"""
+
+import pytest
+
+from repro.errors import InvariantViolationError, StackError
+from repro.gpu.counters import Counters
+from repro.guard.invariants import GuardContext, GuardedStack, InvariantChecker
+from repro.stack.sms import SmsStack
+
+
+@pytest.fixture
+def guarded():
+    stack = SmsStack(rb_entries=2, sh_entries=2, realloc=True)
+    return GuardedStack(stack, GuardContext(sm_id=0), component="stack[slot=0]")
+
+
+def fill(guarded, lane=0, count=8):
+    for value in range(count):
+        guarded.push(lane, 0x1000 + value)
+
+
+def test_clean_traffic_passes(guarded):
+    """Pushing through all three levels and draining violates nothing."""
+    fill(guarded, count=10)
+    guarded.verify()
+    for _ in range(10):
+        guarded.pop(0)
+    guarded.verify()
+    assert guarded.pushed == 10 and guarded.popped == 10
+    # occupancy balances closed: everything stored was loaded back
+    assert guarded.shared_stores == guarded.shared_loads
+    assert guarded.global_stores == guarded.global_loads
+
+
+def test_guard_is_pure_observer(guarded):
+    """The wrapped model's activities come back untouched."""
+    plain = SmsStack(rb_entries=2, sh_entries=2, realloc=True)
+    for value in range(10):
+        plain_act = plain.push(0, 0x1000 + value)
+        guard_act = guarded.push(0, 0x1000 + value)
+        assert [(o.space, o.kind, o.address) for o in plain_act.ops] == [
+            (o.space, o.kind, o.address) for o in guard_act.ops
+        ]
+    for _ in range(10):
+        assert plain.pop(0)[0] == guarded.pop(0)[0]
+
+
+def test_lifo_corruption_detected(guarded):
+    fill(guarded, count=3)
+    guarded.inner._rb[0][-1] ^= 0xFF  # flip bits in the top RB entry
+    with pytest.raises(InvariantViolationError, match="LIFO order violated"):
+        guarded.pop(0)
+
+
+def test_lost_entry_detected(guarded):
+    fill(guarded, count=3)
+    guarded.inner._rb[0].pop()  # an entry silently vanishes
+    with pytest.raises(InvariantViolationError, match="entry conservation"):
+        guarded.verify()
+
+
+def test_entries_lost_at_empty_model(guarded):
+    fill(guarded, count=2)
+    guarded.inner._rb[0].clear()  # model forgot everything
+    with pytest.raises(InvariantViolationError, match="entries lost"):
+        guarded.pop(0)
+        guarded.pop(0)
+
+
+def test_phantom_entry_detected(guarded):
+    fill(guarded, count=3)
+    guarded.inner._rb[0].append(0xBAD)  # an entry nobody pushed
+    with pytest.raises(InvariantViolationError, match="conservation|diverged"):
+        guarded.verify()
+
+
+def test_deep_check_catches_value_swap(guarded):
+    """Same depth, different contents — only the deep check sees it."""
+    fill(guarded, count=3)
+    rb = guarded.inner._rb[0]
+    rb[0], rb[1] = rb[1], rb[0]
+    with pytest.raises(InvariantViolationError, match="diverged"):
+        guarded.verify()
+
+
+def test_borrow_bound_detected(guarded):
+    sms = guarded.inner
+    donor_regions = [sms._own[lane] for lane in range(1, sms.max_borrows + 2)]
+    sms._chain[0].extend(donor_regions)  # one borrow too many
+    with pytest.raises(InvariantViolationError, match="borrow bound"):
+        guarded.verify()
+
+
+def test_structural_invariant_surfaced(guarded):
+    sms = guarded.inner
+    sms._chain[1].append(sms._chain[0][0])  # duplicate chain membership
+    with pytest.raises(InvariantViolationError, match="structural"):
+        guarded.verify()
+
+
+def test_shared_balance_detected(guarded):
+    fill(guarded, count=6)  # resident in RB + SH + global
+    guarded.shared_loads += 1  # a load the model never issued
+    with pytest.raises(InvariantViolationError, match="shared-memory balance"):
+        guarded.verify()
+
+
+def test_finish_closes_the_balances(guarded):
+    """An abandoned deep stack (any-hit) must not trip the occupancy laws."""
+    fill(guarded, count=10)
+    guarded.finish(0)
+    guarded.verify()
+    assert guarded.discarded == 10
+    assert guarded.discarded_shared > 0 and guarded.discarded_global > 0
+
+
+def test_violation_carries_diagnostics(guarded):
+    guarded.ctx.cycle = 812
+    guarded.ctx.warp_id = 3
+    fill(guarded, lane=7, count=3)
+    guarded.inner._rb[7].pop()
+    with pytest.raises(InvariantViolationError) as excinfo:
+        guarded.verify()
+    diag = excinfo.value.diagnostics()
+    assert diag["cycle"] == 812 and diag["warp"] == 3
+    assert diag["lane"] == 7 and diag["component"] == "stack[slot=0]"
+
+
+def test_pop_empty_still_raises_stack_error(guarded):
+    """A legitimate pop-from-empty passes through as a plain StackError."""
+    with pytest.raises(StackError) as excinfo:
+        guarded.pop(0)
+    assert not isinstance(excinfo.value, InvariantViolationError)
+
+
+def test_unwrapped_reaches_the_model(guarded):
+    assert guarded.unwrapped is guarded.inner
+    assert isinstance(guarded.unwrapped, SmsStack)
+
+
+def test_counter_coherence_detected():
+    counters = Counters()
+    checker = InvariantChecker(counters, sm_id=0)
+    stack = checker.wrap(SmsStack(rb_entries=2, sh_entries=2), slot=0)
+    checker.begin_iteration(cycle=100, warp_id=1)
+    for value in range(6):  # spills into SH and global
+        stack.push(0, value)
+    # The RT unit normally prices these ops into the counters; "forget"
+    # to do that and the coherence law must fire.
+    with pytest.raises(InvariantViolationError, match="counter coherence") as e:
+        checker.verify(cycle=110, warp_id=1, slot=0)
+    assert e.value.diagnostics()["component"] == "counters"
+
+
+def test_counter_coherence_passes_when_priced():
+    counters = Counters()
+    checker = InvariantChecker(counters, sm_id=0)
+    stack = checker.wrap(SmsStack(rb_entries=2, sh_entries=2), slot=0)
+    checker.begin_iteration(cycle=100, warp_id=1)
+    for value in range(6):
+        stack.push(0, value)
+    counters.stack_shared_loads += stack.shared_loads
+    counters.stack_shared_stores += stack.shared_stores
+    counters.stack_global_loads += stack.global_loads
+    counters.stack_global_stores += stack.global_stores
+    checker.verify(cycle=110, warp_id=1, slot=0)
+
+
+def test_checker_uses_counter_deltas():
+    """Pre-existing counter traffic (an earlier SM) must not confuse
+    a checker constructed afterwards."""
+    counters = Counters()
+    counters.stack_shared_stores = 500  # another SM's traffic
+    checker = InvariantChecker(counters, sm_id=1)
+    checker.wrap(SmsStack(rb_entries=8, sh_entries=8), slot=0)
+    checker.verify(cycle=0, warp_id=0, slot=0)  # no new traffic: coherent

@@ -1,0 +1,129 @@
+"""ProgressWatchdog tests: livelock and budget detection, diagnostics."""
+
+import pytest
+
+from repro.errors import SimulationStallError
+from repro.gpu.warp import Warp
+from repro.guard.watchdog import ProgressWatchdog
+from repro.stack.sms import SmsStack
+from repro.trace.events import NodeKind, RayKind, RayTrace, Step
+
+
+def make_warp(lanes=4, steps=8):
+    traces = []
+    for lane in range(lanes):
+        trace = RayTrace(ray_id=lane, pixel=lane, kind=RayKind.PRIMARY)
+        for index in range(steps):
+            trace.steps.append(
+                Step(address=0x1000 + 0x40 * index, size_bytes=64,
+                     kind=NodeKind.INTERNAL, tests=1, pushes=[],
+                     popped=False)
+            )
+        traces.append(trace)
+    return Warp(warp_id=3, traces=traces)
+
+
+def test_healthy_progress_never_trips():
+    watchdog = ProgressWatchdog(sm_id=0, stall_window=4)
+    warp = make_warp()
+    clock = 0
+    for _ in range(warp.lane_count * 2):
+        for lane in warp.active_lanes():
+            warp.advance(lane)
+        clock += 10
+        watchdog.observe(warp, slot=0, start=clock - 10, end=clock)
+
+
+def test_livelock_detected_after_stall_window():
+    watchdog = ProgressWatchdog(sm_id=0, stall_window=5)
+    warp = make_warp()
+    with pytest.raises(SimulationStallError, match="livelock") as excinfo:
+        for step in range(10):  # cursors never advance
+            watchdog.observe(warp, slot=0, start=step * 10, end=step * 10 + 10)
+    error = excinfo.value
+    diag = error.diagnostics()
+    assert diag["warp"] == 3 and diag["component"] == "scheduler"
+    assert diag["cycle"] == error.cycle > 0
+
+
+def test_finished_warp_is_progress():
+    """A warp that retires (done) counts as progress even with frozen
+    cursors, so back-to-back completions never look like a stall."""
+    watchdog = ProgressWatchdog(sm_id=0, stall_window=3)
+    warp = make_warp(steps=1)
+    for lane in range(warp.lane_count):
+        warp.advance(lane)
+    assert warp.done
+    for step in range(10):
+        watchdog.observe(warp, slot=0, start=step, end=step + 1)
+
+
+def test_cycle_budget_overrun():
+    watchdog = ProgressWatchdog(sm_id=1, max_cycles=100, stall_window=1000)
+    warp = make_warp()
+    watchdog.observe(warp, slot=0, start=0, end=90)
+    warp.advance(0)
+    with pytest.raises(SimulationStallError, match="cycle budget") as excinfo:
+        watchdog.observe(warp, slot=0, start=90, end=180)
+    assert excinfo.value.diagnostics()["cycle"] == 180
+
+
+def test_stall_error_carries_snapshots_and_decision_log():
+    watchdog = ProgressWatchdog(sm_id=0, stall_window=6, history=4)
+    warp = make_warp(lanes=2)
+    stack = SmsStack(rb_entries=4, sh_entries=4, warp_size=2)
+    stack.push(0, 0xAAAA)
+    stack.push(0, 0xBBBB)
+    with pytest.raises(SimulationStallError) as excinfo:
+        for step in range(10):
+            watchdog.observe(
+                warp, slot=0, start=step, end=step + 1, stack=stack
+            )
+    error = excinfo.value
+    assert set(error.stack_snapshots) == {0, 1}
+    assert error.stack_snapshots[0]["depth"] == 2
+    assert error.stack_snapshots[0]["top"][-1] == 0xBBBB
+    assert error.stack_snapshots[0]["cursor"] == warp.cursors[0]
+    # ring buffer: only the last `history` decisions are retained
+    assert len(error.decisions) == 4
+    assert error.decisions[-1]["warp"] == 3
+    assert error.decisions[-1]["end"] > error.decisions[0]["end"]
+
+
+def test_snapshot_survives_corrupted_model():
+    """A stack model that throws must not mask the stall diagnosis."""
+
+    class BrokenStack:
+        def depth(self, lane):
+            raise RuntimeError("model is toast")
+
+        def contents(self, lane):
+            raise RuntimeError("model is toast")
+
+    watchdog = ProgressWatchdog(sm_id=0, stall_window=1)
+    warp = make_warp(lanes=1)
+    with pytest.raises(SimulationStallError) as excinfo:
+        for step in range(5):
+            watchdog.observe(
+                warp, slot=0, start=step, end=step + 1, stack=BrokenStack()
+            )
+    assert excinfo.value.stack_snapshots[0]["depth"] is None
+
+
+def test_interleaved_progress_defers_then_stall_fires():
+    """While any warp advances, the loop as a whole is healthy — the
+    window only accumulates once every observed warp stops moving."""
+    watchdog = ProgressWatchdog(sm_id=0, stall_window=6)
+    stuck = make_warp(steps=100)
+    moving = make_warp(steps=100)
+    moving.warp_id = 4
+    for step in range(10):  # moving resets the window each round
+        watchdog.observe(stuck, slot=0, start=step, end=step + 1)
+        for lane in moving.active_lanes():
+            moving.advance(lane)
+        watchdog.observe(moving, slot=1, start=step, end=step + 1)
+    with pytest.raises(SimulationStallError) as excinfo:
+        for step in range(10):  # now neither warp moves
+            watchdog.observe(stuck, slot=0, start=step, end=step + 1)
+            watchdog.observe(moving, slot=1, start=step, end=step + 1)
+    assert excinfo.value.diagnostics()["warp"] in (3, 4)

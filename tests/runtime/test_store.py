@@ -1,10 +1,11 @@
-"""Result store tests: round-trip, misses, corruption healing, admin."""
+"""Result store tests: round-trip, misses, quarantine, failures, admin."""
 
 import json
 
 import pytest
 
 from repro.core.presets import named_config
+from repro.errors import InvariantViolationError
 from repro.runtime.job import SimulationJob
 from repro.runtime.store import STORE_SCHEMA_VERSION, ResultStore
 from repro.workloads.params import WorkloadParams
@@ -48,12 +49,22 @@ def test_contains_and_len(store, job_and_result):
     assert list(store.keys()) == [job.key()]
 
 
-def test_corrupt_entry_reads_as_miss_and_heals(store, job_and_result):
+def test_corrupt_entry_reads_as_miss_and_is_quarantined(
+    store, job_and_result, caplog
+):
     job, result = job_and_result
     path = store.put(job.key(), result)
     path.write_text("{not json")
-    assert store.get(job.key()) is None
-    assert not path.exists()  # corrupt file removed
+    with caplog.at_level("WARNING", logger="repro.runtime.store"):
+        assert store.get(job.key()) is None
+    assert not path.exists()  # moved out of the result shard...
+    quarantined = store.root / "corrupt" / path.name
+    assert quarantined.exists()  # ...but the evidence survives
+    assert quarantined.read_text() == "{not json"
+    assert any("quarantined" in record.message for record in caplog.records)
+    # quarantined files never pollute the key listing
+    assert list(store.keys()) == []
+    assert store.get(job.key()) is None  # and the miss is stable
 
 
 def test_schema_mismatch_reads_as_miss(store, job_and_result):
@@ -63,6 +74,33 @@ def test_schema_mismatch_reads_as_miss(store, job_and_result):
     payload["schema"] = STORE_SCHEMA_VERSION + 1
     path.write_text(json.dumps(payload))
     assert store.get(job.key()) is None
+    assert (store.root / "corrupt" / path.name).exists()
+
+
+def test_record_failure_roundtrip(store, job_and_result):
+    job, _ = job_and_result
+    error = InvariantViolationError(
+        "LIFO violated", cycle=812, sm_id=0, warp_id=3, lane=7,
+        component="stack[slot=0]",
+    )
+    path = store.record_failure(job.key(), error, spec=job.spec())
+    assert path == store.failure_path_for(job.key())
+    payload = store.failure_for(job.key())
+    assert payload["error"]["type"] == "InvariantViolationError"
+    assert payload["error"]["diagnostics"] == {
+        "cycle": 812, "sm": 0, "warp": 3, "lane": 7,
+        "component": "stack[slot=0]",
+    }
+    assert payload["spec"]["scene"] == "SHIP"
+    assert list(store.failures()) == [job.key()]
+    # failure records never masquerade as results
+    assert list(store.keys()) == []
+    assert store.get(job.key()) is None
+
+
+def test_failure_for_missing_key_is_none(store):
+    assert store.failure_for("0" * 64) is None
+    assert list(store.failures()) == []
 
 
 def test_clear_and_size(store, job_and_result):

@@ -1,4 +1,6 @@
-"""Exception hierarchy tests."""
+"""Exception hierarchy tests: taxonomy, diagnostics, rendering, pickling."""
+
+import pickle
 
 import pytest
 
@@ -9,9 +11,20 @@ def test_all_derive_from_repro_error():
     for name in (
         "GeometryError", "SceneError", "BVHError", "TraversalError",
         "StackError", "ConfigError", "SimulationError", "ExperimentError",
+        "JobExecutionError", "GuardViolationError", "InvariantViolationError",
+        "SimulationStallError",
     ):
         cls = getattr(errors, name)
         assert issubclass(cls, errors.ReproError)
+
+
+def test_guard_taxonomy():
+    """Guard errors sit under SimulationError so one except catches both."""
+    assert issubclass(errors.GuardViolationError, errors.SimulationError)
+    assert issubclass(
+        errors.InvariantViolationError, errors.GuardViolationError
+    )
+    assert issubclass(errors.SimulationStallError, errors.GuardViolationError)
 
 
 def test_single_catch_covers_library_errors():
@@ -28,3 +41,62 @@ def test_single_catch_covers_library_errors():
 def test_repro_error_is_exception():
     assert issubclass(errors.ReproError, Exception)
     assert not issubclass(errors.ReproError, (KeyboardInterrupt, SystemExit))
+
+
+def test_diagnostics_only_reports_set_fields():
+    bare = errors.StackError("overflow")
+    assert bare.diagnostics() == {}
+    rich = errors.StackError(
+        "overflow", cycle=812, sm_id=0, warp_id=3, lane=17, component="stack"
+    )
+    assert rich.diagnostics() == {
+        "cycle": 812, "sm": 0, "warp": 3, "lane": 17, "component": "stack"
+    }
+
+
+def test_str_renders_diagnostics():
+    error = errors.InvariantViolationError(
+        "LIFO violated", cycle=812, warp_id=3, component="stack[slot=0]"
+    )
+    text = str(error)
+    assert text.startswith("LIFO violated [")
+    assert "cycle=812" in text and "warp=3" in text
+    assert "component=stack[slot=0]" in text
+    assert str(errors.StackError("plain")) == "plain"  # no brackets when bare
+
+
+def test_stall_error_carries_snapshots_and_decisions():
+    error = errors.SimulationStallError(
+        "livelock",
+        cycle=99, sm_id=1, warp_id=2, component="scheduler",
+        stack_snapshots={0: {"cursor": 4, "depth": 2}},
+        decisions=[{"warp": 2, "start": 90, "end": 99}],
+    )
+    assert error.stack_snapshots[0]["depth"] == 2
+    assert error.decisions[-1]["end"] == 99
+
+
+@pytest.mark.parametrize("cls", [
+    errors.StackError, errors.SimulationError, errors.GuardViolationError,
+    errors.InvariantViolationError, errors.SimulationStallError,
+])
+def test_diagnostic_errors_pickle_roundtrip(cls):
+    """Worker processes must be able to ship these back to the parent."""
+    error = cls("boom", cycle=7, sm_id=0, warp_id=1, component="x")
+    clone = pickle.loads(pickle.dumps(error))
+    assert type(clone) is cls
+    assert clone.diagnostics() == error.diagnostics()
+    assert str(clone) == str(error)
+
+
+def test_cause_chaining_preserved():
+    inner = errors.StackError("pop from empty", cycle=5, lane=3)
+    try:
+        try:
+            raise inner
+        except errors.StackError as exc:
+            raise errors.InvariantViolationError(
+                "entries lost", cycle=5, component="stack[slot=0]"
+            ) from exc
+    except errors.InvariantViolationError as outer:
+        assert outer.__cause__ is inner
