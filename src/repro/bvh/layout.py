@@ -58,6 +58,8 @@ def assign_addresses(wide: WideBVH, base_address: int = BVH_BASE_ADDRESS) -> Mem
     """
     cursor = base_address
     wide.address_to_node.clear()
+    wide._soa = None  # addresses are baked into the SoA mirror
+
     stack = [wide.root]
     while stack:
         index = stack.pop()

@@ -39,11 +39,24 @@ class WideBVH:
     child_his: List[np.ndarray] = field(default_factory=list)
     address_to_node: Dict[int, int] = field(default_factory=dict)
     total_bytes: int = 0
+    _soa: object = field(default=None, repr=False, compare=False)
 
     @property
     def node_count(self) -> int:
         """Total number of wide nodes."""
         return len(self.nodes)
+
+    def soa(self):
+        """The flat structure-of-arrays mirror (built once, cached).
+
+        Must be requested after layout assigns node addresses; the tracer
+        does so via its constructor.
+        """
+        if self._soa is None:
+            from repro.bvh.soa import BVHSoA
+
+            self._soa = BVHSoA(self)
+        return self._soa
 
     def node_at_address(self, address: int) -> WideNode:
         """Resolve a global-memory address back to its node."""

@@ -19,6 +19,10 @@ Installed as ``python -m repro``.  Commands:
 ``chaos``
     Run the fault-injection campaign: verify the guard detects every
     fault class and that a clean guarded run is bit-identical.
+``bench``
+    Run the pinned benchmark matrix (trace generation and timing
+    simulation measured separately), write ``BENCH_<tag>.json``, and
+    optionally gate against a committed baseline payload.
 """
 
 from __future__ import annotations
@@ -84,6 +88,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="campaign seed (fault trigger points)")
     chaos.add_argument("--rays", type=int, default=128,
                        help="synthetic workload size")
+
+    bench = sub.add_parser(
+        "bench", help="run the pinned benchmark matrix and gate regressions"
+    )
+    bench.add_argument("--tag", default="local",
+                       help="payload tag (written to BENCH_<tag>.json)")
+    bench.add_argument("--out", default=None,
+                       help="output path (default BENCH_<tag>.json)")
+    bench.add_argument("--compare", default=None,
+                       help="baseline BENCH_*.json to gate against")
+    bench.add_argument("--tolerance", type=float, default=None,
+                       help="allowed calibrated slowdown (default 0.15)")
+    bench.add_argument("--repeats", type=int, default=2,
+                       help="repetitions per case; fastest wins (default 2)")
     return parser
 
 
@@ -268,6 +286,36 @@ def _cmd_chaos(args) -> int:
     return 0 if report.all_detected else 1
 
 
+def _cmd_bench(args) -> int:
+    from repro.perf import (
+        compare_benchmarks,
+        format_comparison,
+        format_payload,
+        load_payload,
+        run_benchmarks,
+        save_payload,
+    )
+    from repro.perf.bench import DEFAULT_TOLERANCE
+
+    payload = run_benchmarks(
+        args.tag, repeats=args.repeats,
+        log=lambda message: print(message, file=sys.stderr),
+    )
+    out = args.out or f"BENCH_{args.tag}.json"
+    save_payload(payload, out)
+    print(format_payload(payload))
+    print(f"written  : {out}")
+    if args.compare is None:
+        return 0
+    tolerance = (
+        args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    )
+    baseline = load_payload(args.compare)
+    regressions = compare_benchmarks(payload, baseline, tolerance=tolerance)
+    print(format_comparison(payload, baseline, regressions, tolerance))
+    return 1 if regressions else 0
+
+
 def _cmd_overhead() -> int:
     print(sms_hardware_overhead().summary())
     return 0
@@ -292,6 +340,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_cache(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         parser.error(f"unknown command {args.command!r}")
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -44,13 +44,19 @@ def time_traces(
     scene_name: str = "",
     verify_pops: bool = True,
     guard=None,
+    fast_forward: bool = True,
 ) -> SimulationResult:
     """Phase two: replay traces through the timing model.
 
     ``guard`` (a :class:`~repro.guard.config.GuardConfig`) enables the
-    simulation integrity layer for this run.
+    simulation integrity layer for this run.  ``fast_forward=False``
+    forces the fully stepped scheduler loop (bit-identical output; the
+    default fast path only skips redundant arbitration).
     """
-    simulator = GPUSimulator(config=config, verify_pops=verify_pops, guard=guard)
+    simulator = GPUSimulator(
+        config=config, verify_pops=verify_pops, guard=guard,
+        fast_forward=fast_forward,
+    )
     output = simulator.run_traces(traces)
     return SimulationResult(
         scene_name=scene_name,

@@ -40,6 +40,42 @@ def ray_aabb_intersect(ray: Ray, box: AABB) -> Optional[Tuple[float, float]]:
     return t_enter, t_exit
 
 
+def slab_test(
+    origin: np.ndarray,
+    inv_direction: np.ndarray,
+    t_min,
+    t_max,
+    los: np.ndarray,
+    his: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Shared slab kernel: one or many rays against ``k`` boxes.
+
+    Shapes broadcast over a leading ray axis: pass ``(3,)`` vectors with
+    scalar ``t_min`` / ``t_max`` and ``(k, 3)`` boxes for the per-ray
+    form, or ``(m, 1, 3)`` vectors with ``(m, 1)`` intervals for a
+    wavefront of ``m`` rays against the same node's children.  Both forms
+    compute bitwise-identical entry/exit parameters per ray (the
+    broadcast evaluates the same scalar expressions elementwise), which
+    is what lets the batched tracer reproduce the scalar tracer's event
+    stream byte for byte.
+
+    Callers are expected to hoist ``np.errstate(invalid="ignore")``
+    around traversal loops; NaNs from ``0 * inf`` slab degeneracies are
+    ignored by the nan-reductions either way.
+    """
+    t1 = (los - origin) * inv_direction
+    t2 = (his - origin) * inv_direction
+    t_near = np.minimum(t1, t2)
+    t_far = np.maximum(t1, t2)
+    # fmax/fmin ignore NaN operands exactly like nanmax/nanmin (verified
+    # bitwise) but skip the python-level wrapper, which dominates on the
+    # small arrays this kernel sees.  All-NaN rows cannot occur: a ray
+    # direction has at least one non-zero component.
+    t_enter = np.maximum(np.fmax.reduce(t_near, axis=-1), t_min)
+    t_exit = np.minimum(np.fmin.reduce(t_far, axis=-1), t_max)
+    return t_enter <= t_exit, t_enter
+
+
 def ray_aabb_intersect_batch(
     ray: Ray, los: np.ndarray, his: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -54,39 +90,81 @@ def ray_aabb_intersect_batch(
         ``(hit, t_enter)`` — a boolean mask of shape ``(k,)`` and the entry
         parameter for each box (meaningful only where ``hit`` is True).
     """
-    t1 = (los - ray.origin) * ray.inv_direction
-    t2 = (his - ray.origin) * ray.inv_direction
-    t_near = np.minimum(t1, t2)
-    t_far = np.maximum(t1, t2)
     with np.errstate(invalid="ignore"):
-        t_enter = np.maximum(np.nanmax(t_near, axis=1), ray.t_min)
-        t_exit = np.minimum(np.nanmin(t_far, axis=1), ray.t_max)
-    hit = t_enter <= t_exit
-    return hit, t_enter
+        return slab_test(
+            ray.origin, ray.inv_direction, ray.t_min, ray.t_max, los, his
+        )
+
+
+def moeller_trumbore(
+    origin: np.ndarray,
+    d0: float,
+    d1: float,
+    d2: float,
+    direction: np.ndarray,
+    t_min: float,
+    t_max: float,
+    a: np.ndarray,
+    e1: np.ndarray,
+    e2: np.ndarray,
+    e1f,
+    e2f,
+) -> Optional[float]:
+    """Moeller-Trumbore core on precomputed edge vectors.
+
+    ``e1`` / ``e2`` are ``b - a`` / ``c - a`` as float64 rows (fed to
+    ``np.dot``); ``e1f`` / ``e2f`` are the same values as python-float
+    triples (fed to the expanded cross products, which are bitwise
+    identical to ``np.cross`` on IEEE doubles).  The four dot products
+    stay on ``np.dot``: its reduction order is not reproducible by plain
+    scalar multiply-adds, and the bit-exactness contract pins this kernel
+    to the historical ``np.dot``-based results.
+    """
+    f0, f1, f2 = e2f
+    pvec = np.array((d1 * f2 - d2 * f1, d2 * f0 - d0 * f2, d0 * f1 - d1 * f0))
+    det = float(np.dot(e1, pvec))
+    if abs(det) < 1e-12:
+        return None
+    inv_det = 1.0 / det
+    tvec = origin - a
+    u = float(np.dot(tvec, pvec)) * inv_det
+    if u < 0.0 or u > 1.0:
+        return None
+    tv0, tv1, tv2 = tvec
+    g0, g1, g2 = e1f
+    qvec = np.array(
+        (tv1 * g2 - tv2 * g1, tv2 * g0 - tv0 * g2, tv0 * g1 - tv1 * g0)
+    )
+    v = float(np.dot(direction, qvec)) * inv_det
+    if v < 0.0 or u + v > 1.0:
+        return None
+    t = float(np.dot(e2, qvec)) * inv_det
+    if t < t_min or t > t_max:
+        return None
+    return t
 
 
 def ray_triangle_intersect(ray: Ray, tri: Triangle) -> Optional[float]:
     """Moeller-Trumbore test; returns hit parameter ``t`` or ``None``.
 
     Backface hits are reported (no culling), matching what an RT core's
-    triangle unit does by default for closest-hit traversal.
+    triangle unit does by default for closest-hit traversal.  Boxed-
+    triangle convenience wrapper over :func:`moeller_trumbore`.
     """
-    edge1 = tri.b - tri.a
-    edge2 = tri.c - tri.a
-    pvec = np.cross(ray.direction, edge2)
-    det = float(np.dot(edge1, pvec))
-    if abs(det) < 1e-12:
-        return None
-    inv_det = 1.0 / det
-    tvec = ray.origin - tri.a
-    u = float(np.dot(tvec, pvec)) * inv_det
-    if u < 0.0 or u > 1.0:
-        return None
-    qvec = np.cross(tvec, edge1)
-    v = float(np.dot(ray.direction, qvec)) * inv_det
-    if v < 0.0 or u + v > 1.0:
-        return None
-    t = float(np.dot(edge2, qvec)) * inv_det
-    if t < ray.t_min or t > ray.t_max:
-        return None
-    return t
+    e1 = tri.b - tri.a
+    e2 = tri.c - tri.a
+    direction = ray.direction
+    return moeller_trumbore(
+        ray.origin,
+        float(direction[0]),
+        float(direction[1]),
+        float(direction[2]),
+        direction,
+        ray.t_min,
+        ray.t_max,
+        tri.a,
+        e1,
+        e2,
+        (float(e1[0]), float(e1[1]), float(e1[2])),
+        (float(e2[0]), float(e2[1]), float(e2[2])),
+    )

@@ -60,16 +60,23 @@ class Cache:
         """Align an address down to its line."""
         return address - (address % self.line_bytes)
 
-    def access(self, address: int, is_store: bool = False) -> AccessResult:
-        """Look up (and allocate on miss) the line containing ``address``."""
-        line = self.line_address(address)
-        cache_set = self._set_of(line)
+    def probe(self, address: int, is_store: bool = False):
+        """Allocation-free :meth:`access`: returns ``(hit, evicted_dirty)``.
+
+        Identical state transitions and hit/miss accounting to
+        :meth:`access`, but the result is a plain tuple — the timing
+        model's hot loops call this tens of thousands of times per
+        simulated frame and the :class:`AccessResult` boxing showed up as
+        a top allocation site.
+        """
+        line = address - (address % self.line_bytes)
+        cache_set = self._sets[(line // self.line_bytes) % self.num_sets]
         if line in cache_set:
             self.hits += 1
             cache_set.move_to_end(line)
             if is_store:
                 cache_set[line] = True
-            return AccessResult(hit=True)
+            return True, None
         self.misses += 1
         evicted_dirty = None
         if len(cache_set) >= self.assoc:
@@ -77,7 +84,55 @@ class Cache:
             if dirty:
                 evicted_dirty = victim
         cache_set[line] = is_store
-        return AccessResult(hit=False, evicted_dirty_line=evicted_dirty)
+        return False, evicted_dirty
+
+    def access(self, address: int, is_store: bool = False) -> AccessResult:
+        """Look up (and allocate on miss) the line containing ``address``."""
+        hit, evicted_dirty = self.probe(address, is_store)
+        return AccessResult(hit=hit, evicted_dirty_line=evicted_dirty)
+
+    def pollute_stream(
+        self, base: int, cursor: int, span: int, stride: int, count: int
+    ):
+        """Stream ``count`` sequential foreign loads; returns state.
+
+        Walks line addresses ``base + cursor``, ``base + cursor + stride``
+        ... (cursor wrapping at ``span``) as clean loads, exactly like
+        ``count`` calls to :meth:`access`.  Returns ``(new_cursor,
+        evicted_dirty_lines)``.
+
+        Fast path: for a single-set (fully associative) cache whose
+        capacity is below the stream's wrap distance, every access is a
+        guaranteed miss — a streamed address can only be resident if it
+        survived the ``span // stride`` insertions since its last visit,
+        and any line is evicted after at most ``assoc`` insertions.  The
+        membership test and hit bookkeeping are then dead code, leaving
+        just the evict+insert dictionary work.
+        """
+        evicted: List[int] = []
+        if self.num_sets == 1 and span > self.assoc * stride:
+            cache_set = self._sets[0]
+            assoc = self.assoc
+            popitem = cache_set.popitem
+            address = base + cursor
+            limit = base + span
+            for _ in range(count):
+                if len(cache_set) >= assoc:
+                    victim, dirty = popitem(False)
+                    if dirty:
+                        evicted.append(victim)
+                cache_set[address] = False
+                address += stride
+                if address >= limit:
+                    address -= span
+            self.misses += count
+            return address - base, evicted
+        for _ in range(count):
+            _, victim = self.probe(base + cursor, False)
+            if victim is not None:
+                evicted.append(victim)
+            cursor = (cursor + stride) % span
+        return cursor, evicted
 
     def contains(self, address: int) -> bool:
         """Non-mutating presence check (tests/diagnostics)."""

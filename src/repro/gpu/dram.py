@@ -30,8 +30,10 @@ class Dram:
         self.writes = 0
 
     def _occupy(self, now: int, sectors: int) -> int:
-        start = max(now, self._next_free)
-        self._next_free = start + self.service_cycles * max(1, sectors)
+        start = self._next_free
+        if now > start:
+            start = now
+        self._next_free = start + self.service_cycles * (sectors if sectors > 1 else 1)
         return start
 
     def read(self, now: int, sectors: int = 4) -> int:

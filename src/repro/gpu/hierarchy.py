@@ -35,12 +35,18 @@ class MemoryHierarchy:
         self.dram = dram
         self._pollution_cursor = 0
         self._l2_port_free = 0
+        # Node records never move, so the line decomposition of a given
+        # (address, size) pair is immutable — memoize it.  Spill slots
+        # repeat per lane, so they hit the memo too.
+        self._lines_memo = {}
 
     def _l2_occupy(self, now: int, sectors: int = 4) -> int:
         """Claim the (per-SM share of the) L2 port; returns service start."""
-        start = max(now, self._l2_port_free)
-        cycles = max(1, self.config.l2_service_cycles * sectors // 4)
-        self._l2_port_free = start + cycles
+        start = self._l2_port_free
+        if now > start:
+            start = now
+        cycles = self.config.l2_service_cycles * sectors // 4
+        self._l2_port_free = start + (cycles if cycles > 0 else 1)
         return start
 
     def pollute(self, lines: int, now: int, counters: "Counters") -> None:
@@ -52,22 +58,36 @@ class MemoryHierarchy:
         dirty lines (spilled stack entries) still write back — that is
         real RT-unit-caused traffic.
         """
-        line_bytes = self.config.line_bytes
-        for _ in range(lines):
-            address = self.POLLUTION_BASE + self._pollution_cursor
-            self._pollution_cursor = (
-                self._pollution_cursor + line_bytes
-            ) % self.POLLUTION_SPAN
-            result = self.l1.access(address, is_store=False)
-            if result.evicted_dirty_line is not None:
-                self._writeback_to_l2(result.evicted_dirty_line, now, counters)
+        cursor, evicted = self.l1.pollute_stream(
+            self.POLLUTION_BASE,
+            self._pollution_cursor,
+            self.POLLUTION_SPAN,
+            self.config.line_bytes,
+            lines,
+        )
+        self._pollution_cursor = cursor
+        # Write-backs are deferred to after the stream: L1 state does not
+        # depend on L2, and the L2 sees the victims in the same order, so
+        # the interleaved and deferred schedules are indistinguishable.
+        for victim in evicted:
+            self._writeback_to_l2(victim, now, counters)
 
     def lines_of(self, address: int, size_bytes: int) -> List[int]:
-        """Line addresses an access of ``size_bytes`` at ``address`` touches."""
-        line = self.config.line_bytes
-        first = address - (address % line)
-        last = (address + max(size_bytes, 1) - 1) // line * line
-        return list(range(first, last + line, line))
+        """Line addresses an access of ``size_bytes`` at ``address`` touches.
+
+        Memoized: the decomposition depends only on the immutable
+        (address, size) pair and every node/spill slot is re-fetched many
+        times per frame.
+        """
+        key = (address, size_bytes)
+        cached = self._lines_memo.get(key)
+        if cached is None:
+            line = self.config.line_bytes
+            first = address - (address % line)
+            last = (address + max(size_bytes, 1) - 1) // line * line
+            cached = list(range(first, last + line, line))
+            self._lines_memo[key] = cached
+        return cached
 
     def access_line(
         self,
@@ -99,11 +119,11 @@ class MemoryHierarchy:
             return done
         if policy == "l2":
             start = self._l2_occupy(now, sectors=1)
-            l2_result = self.l2.access(line_addr, is_store=is_store)
-            if l2_result.evicted_dirty_line is not None:
+            l2_hit, l2_evicted = self.l2.probe(line_addr, is_store=is_store)
+            if l2_evicted is not None:
                 self.dram.write(start)
                 counters.dram_writes += 1
-            if l2_result.hit:
+            if l2_hit:
                 counters.l2_hits += 1
                 return start + config.l1_latency + config.l2_latency
             counters.l2_misses += 1
@@ -113,20 +133,20 @@ class MemoryHierarchy:
             counters.dram_reads += 1
             return done
 
-        result = self.l1.access(line_addr, is_store=is_store)
-        if result.evicted_dirty_line is not None:
-            self._writeback_to_l2(result.evicted_dirty_line, now, counters)
-        if result.hit:
+        hit, evicted = self.l1.probe(line_addr, is_store=is_store)
+        if evicted is not None:
+            self._writeback_to_l2(evicted, now, counters)
+        if hit:
             counters.l1_hits += 1
             return now + config.l1_latency
         counters.l1_misses += 1
 
         start = self._l2_occupy(now, sectors=4)
-        l2_result = self.l2.access(line_addr, is_store=False)
-        if l2_result.evicted_dirty_line is not None:
+        l2_hit, l2_evicted = self.l2.probe(line_addr, is_store=False)
+        if l2_evicted is not None:
             self.dram.write(start)
             counters.dram_writes += 1
-        if l2_result.hit:
+        if l2_hit:
             counters.l2_hits += 1
             return start + config.l1_latency + config.l2_latency
         counters.l2_misses += 1
@@ -134,9 +154,79 @@ class MemoryHierarchy:
         counters.dram_reads += 1
         return done
 
+    def fetch_lines(self, lines: List[int], start: int, counters: Counters) -> int:
+        """Burst of node-fetch loads, one issued per L1 port slot.
+
+        Equivalent to ``access_line(line, start + i * l1_port_cycles,
+        False, counters)`` for each line in order, returning the latest
+        completion time — but with the per-line L1 probe and the miss path
+        inlined, and the L1 hit/miss counter updates batched.  This is the
+        node-fetch inner loop of every warp iteration.
+        """
+        config = self.config
+        port = config.l1_port_cycles
+        l1_lat = config.l1_latency
+        l2_lat = config.l2_latency
+        l1 = self.l1
+        l2 = self.l2
+        dram = self.dram
+        now = start
+        fetch_done = start
+        l1_hits = 0
+        l1_misses = 0
+        # The paper's L1D is fully associative (one set); hoist the set
+        # dict and unroll the probe.  Multi-set L1 configs fall back to
+        # the generic probe below.
+        cache_set = l1._sets[0] if l1.num_sets == 1 else None
+        assoc = l1.assoc
+        for line in lines:
+            if cache_set is not None:
+                if line in cache_set:
+                    hit = True
+                    cache_set.move_to_end(line)
+                    evicted = None
+                else:
+                    hit = False
+                    evicted = None
+                    if len(cache_set) >= assoc:
+                        victim, dirty = cache_set.popitem(last=False)
+                        if dirty:
+                            evicted = victim
+                    cache_set[line] = False
+            else:
+                hit, evicted = l1.probe(line, False)
+            if evicted is not None:
+                self._writeback_to_l2(evicted, now, counters)
+            if hit:
+                l1_hits += 1
+                done = now + l1_lat
+            else:
+                l1_misses += 1
+                s = self._l2_occupy(now, sectors=4)
+                l2_hit, l2_evicted = l2.probe(line, False)
+                if l2_evicted is not None:
+                    dram.write(s)
+                    counters.dram_writes += 1
+                if l2_hit:
+                    counters.l2_hits += 1
+                    done = s + l1_lat + l2_lat
+                else:
+                    counters.l2_misses += 1
+                    done = dram.read(s + l1_lat + l2_lat)
+                    counters.dram_reads += 1
+            if done > fetch_done:
+                fetch_done = done
+            now += port
+        if cache_set is not None:
+            l1.hits += l1_hits
+            l1.misses += l1_misses
+        counters.l1_hits += l1_hits
+        counters.l1_misses += l1_misses
+        return fetch_done
+
     def _writeback_to_l2(self, line_addr: int, now: int, counters: Counters) -> None:
         """Install an evicted dirty L1 line into L2 (write-back path)."""
-        result = self.l2.access(line_addr, is_store=True)
-        if result.evicted_dirty_line is not None:
+        _, evicted = self.l2.probe(line_addr, is_store=True)
+        if evicted is not None:
             self.dram.write(now)
             counters.dram_writes += 1

@@ -47,6 +47,7 @@ class RTUnit:
         sm_id: int = 0,
         verify_pops: bool = True,
         guard: Optional[GuardConfig] = None,
+        fast_forward: bool = True,
     ) -> None:
         self.config = config
         self.hierarchy = hierarchy
@@ -54,6 +55,7 @@ class RTUnit:
         self.sm_id = sm_id
         self.verify_pops = verify_pops
         self.guard = guard
+        self.fast_forward = fast_forward
         self.sharedmem = SharedMemorySim(config)
         if config.inter_warp_realloc and config.rb_stack_entries is not None:
             # One shared stack model spans every warp slot of the unit so
@@ -135,6 +137,35 @@ class RTUnit:
 
         admit(0)
         while resident:
+            if (
+                self.fast_forward
+                and len(resident) == 1
+                and not pending
+                and self._checker is None
+                and self._watchdog is None
+            ):
+                # Event-driven fast-forward: with one resident warp and an
+                # empty admission queue the scheduler is a foregone
+                # conclusion (GTO always re-picks the sole warp), so drain
+                # it without per-iteration arbitration.  Each iteration
+                # still jumps time exactly as the stepped loop does —
+                # start = max(ready, pipeline_free) is the next wake-up
+                # across the warp buffer, L1D/L2 ports and DRAM queue —
+                # so counters and completion times are bit-identical.
+                warp, slot = resident[0]
+                stack = self._stacks[slot]
+                while not warp.done:
+                    start = max(warp.ready_time, pipeline_free)
+                    end, issue_cycles = self._execute_iteration(
+                        warp, stack, start
+                    )
+                    pipeline_free = start + issue_cycles
+                    warp.ready_time = end
+                    if end > completion:
+                        completion = end
+                resident.clear()
+                free_slots.append(slot)
+                continue
             warp, slot = self._pick_warp(resident, greedy_warp_id)
             greedy_warp_id = warp.warp_id
             start = max(warp.ready_time, pipeline_free)
@@ -196,26 +227,28 @@ class RTUnit:
 
         # Phase 1: node fetch.  The memory scheduler coalesces the active
         # lanes' node reads into unique cache lines, issuing one per cycle.
+        traces = warp.traces
+        cursors = warp.cursors
+        steps = [traces[lane].steps[cursors[lane]] for lane in active]
         lines: Dict[int, None] = {}
         max_box_tests = 0
         max_tri_tests = 0
-        for lane in active:
-            step = warp.current_step(lane)
-            for line in self.hierarchy.lines_of(step.address, step.size_bytes):
+        lines_memo = self.hierarchy._lines_memo
+        lines_of = self.hierarchy.lines_of
+        for step in steps:
+            step_lines = lines_memo.get((step.address, step.size_bytes))
+            if step_lines is None:
+                step_lines = lines_of(step.address, step.size_bytes)
+            for line in step_lines:
                 lines[line] = None
             if step.kind is NodeKind.INTERNAL:
-                max_box_tests = max(max_box_tests, step.tests)
-            else:
-                max_tri_tests = max(max_tri_tests, step.tests)
-        fetch_done = start
-        port = config.l1_port_cycles
-        for i, line in enumerate(lines):
-            done = self.hierarchy.access_line(
-                line, start + i * port, is_store=False, counters=counters
-            )
-            fetch_done = max(fetch_done, done)
+                if step.tests > max_box_tests:
+                    max_box_tests = step.tests
+            elif step.tests > max_tri_tests:
+                max_tri_tests = step.tests
+        fetch_done = self.hierarchy.fetch_lines(lines, start, counters)
         counters.node_fetch_lines += len(lines)
-        fetch_port_cycles = len(lines) * port
+        fetch_port_cycles = len(lines) * config.l1_port_cycles
         # Concurrent shading/texture traffic from the SM's sub-cores
         # streams through the shared L1D (see GPUConfig.shader_pollution_lines).
         self.hierarchy.pollute(config.shader_pollution_lines, start, counters)
@@ -237,21 +270,49 @@ class RTUnit:
         # (warp.stack_free), which is exactly what happens when every
         # iteration overflows.
         chains: List[StackActivity] = []
-        for lane in active:
-            step = warp.current_step(lane)
-            activity = StackActivity()
+        instructions = 0
+        verify_pops = self.verify_pops
+        for lane, step in zip(active, steps):
+            # Accumulate each lane's chain into one op list instead of
+            # merge()-ing a fresh StackActivity per push/pop; the merged
+            # chain is identical (ops concatenate in issue order, extra
+            # cycles sum).
+            ops: Optional[list] = None
+            extra_cycles = 0
             if not stuck:
                 for address in step.pushes:
-                    activity = activity.merge(stack.push(lane, address))
+                    push_activity = stack.push(lane, address)
+                    if push_activity.ops:
+                        if ops is None:
+                            ops = list(push_activity.ops)
+                        else:
+                            ops.extend(push_activity.ops)
+                    extra_cycles += push_activity.extra_cycles
                 if step.popped:
                     value, pop_activity = stack.pop(lane)
-                    activity = activity.merge(pop_activity)
-                    if self.verify_pops:
+                    if pop_activity.ops:
+                        if ops is None:
+                            ops = list(pop_activity.ops)
+                        else:
+                            ops.extend(pop_activity.ops)
+                    extra_cycles += pop_activity.extra_cycles
+                    if verify_pops:
                         self._verify_pop(warp, lane, value)
-            chains.append(activity)
-            counters.instructions += 1 + step.tests
+            if ops is not None or extra_cycles:
+                chains.append(StackActivity(ops=ops, extra_cycles=extra_cycles))
+            instructions += 1 + step.tests
+        counters.instructions += instructions
         stack_start = max(t, warp.stack_free)
-        stack_end, stack_port_cycles = self._price_stack_chains(chains, stack_start)
+        if chains:
+            # Lanes whose stack phase generated no traffic are omitted from
+            # ``chains`` — an all-empty chain contributes nothing at any
+            # position and zero extra cycles, so pricing only the active
+            # ones (or skipping pricing entirely) is exact.
+            stack_end, stack_port_cycles = self._price_stack_chains(
+                chains, stack_start
+            )
+        else:
+            stack_end, stack_port_cycles = stack_start, 0
         warp.stack_free = stack_end
         # The warp itself is ready once compute and the stack-issue slots
         # clear; the chain's memory latency overlaps the next iteration.
@@ -261,12 +322,16 @@ class RTUnit:
         # SMS reallocation) free their SH stacks for borrowing.  A warp
         # stuck by the chaos harness keeps its cursors frozen — the
         # watchdog's job is to notice.
-        for lane in active:
-            if stuck:
-                continue
-            warp.advance(lane)
-            if not warp.lane_active(lane):
-                stack.finish(lane)
+        if not stuck:
+            surviving: List[int] = []
+            for lane in active:
+                cursor = cursors[lane] + 1
+                cursors[lane] = cursor
+                if cursor >= len(traces[lane].steps):
+                    stack.finish(lane)
+                else:
+                    surviving.append(lane)
+            warp.retire_to(surviving)
 
         self._harvest_stack_stats(stack)
         counters.warp_steps += 1

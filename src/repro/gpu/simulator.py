@@ -62,10 +62,16 @@ class GPUSimulator:
         config: Optional[GPUConfig] = None,
         verify_pops: bool = True,
         guard=None,
+        fast_forward: bool = True,
     ) -> None:
         self.config = config or GPUConfig()
         self.verify_pops = verify_pops
         self.guard = guard
+        #: When True (default), RT units may take the event-driven
+        #: fast-forward drain path; False forces the fully stepped
+        #: scheduler loop.  Outputs are bit-identical either way — the
+        #: flag exists so the equivalence suite can prove it.
+        self.fast_forward = fast_forward
 
     def run_traces(self, traces: Sequence[RayTrace]) -> SimOutput:
         """Simulate a flat list of ray traces (wave order preserved)."""
@@ -93,6 +99,7 @@ class GPUSimulator:
             rt_unit = RTUnit(
                 config, hierarchy, counters, sm_id=sm_id,
                 verify_pops=self.verify_pops, guard=self.guard,
+                fast_forward=self.fast_forward,
             )
             cycles = rt_unit.run(sm_warps)
             per_sm_cycles.append(cycles)

@@ -10,28 +10,50 @@ donate their SH stacks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.trace.events import RayTrace, Step
 
 
-@dataclass
 class Warp:
-    """One warp's worth of traces plus per-lane progress cursors."""
+    """One warp's worth of traces plus per-lane progress cursors.
 
-    warp_id: int
-    traces: List[Optional[RayTrace]]
-    cursors: List[int] = field(default_factory=list)
-    ready_time: int = 0
-    #: When this warp's stack-manager chain from the previous iteration
-    #: completes; the next iteration's stack phase serializes on it.
-    stack_free: int = 0
-    entered: bool = False
+    A ``__slots__`` class (not a dataclass): the timing model touches
+    warp state on every iteration of every lane, and attribute access
+    plus construction showed up in profiles.  Constructor signature and
+    semantics match the dataclass it replaced.
+    """
 
-    def __post_init__(self) -> None:
-        if not self.cursors:
-            self.cursors = [0] * len(self.traces)
+    __slots__ = (
+        "warp_id", "traces", "cursors", "ready_time", "stack_free", "entered",
+        "_active",
+    )
+
+    def __init__(
+        self,
+        warp_id: int,
+        traces: List[Optional[RayTrace]],
+        cursors: Optional[List[int]] = None,
+        ready_time: int = 0,
+        stack_free: int = 0,
+        entered: bool = False,
+    ) -> None:
+        self.warp_id = warp_id
+        self.traces = traces
+        self.cursors = cursors if cursors else [0] * len(traces)
+        self.ready_time = ready_time
+        #: When this warp's stack-manager chain from the previous iteration
+        #: completes; the next iteration's stack phase serializes on it.
+        self.stack_free = stack_free
+        self.entered = entered
+        # Memoized active_lanes() result; invalidated on cursor movement.
+        self._active: Optional[List[int]] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Warp(warp_id={self.warp_id!r}, traces={len(self.traces)} lanes, "
+            f"ready_time={self.ready_time!r}, stack_free={self.stack_free!r})"
+        )
 
     @property
     def lane_count(self) -> int:
@@ -44,8 +66,26 @@ class Warp:
         return trace is not None and self.cursors[lane] < len(trace.steps)
 
     def active_lanes(self) -> List[int]:
-        """Lanes with work remaining."""
-        return [lane for lane in range(self.lane_count) if self.lane_active(lane)]
+        """Lanes with work remaining (treat the returned list as read-only).
+
+        Memoized: the RT unit asks on every iteration but lane liveness
+        only changes when a cursor moves, and the unit's advance loop
+        maintains the memo directly (``retire_to``).
+        """
+        active = self._active
+        if active is None:
+            cursors = self.cursors
+            active = [
+                lane
+                for lane, trace in enumerate(self.traces)
+                if trace is not None and cursors[lane] < len(trace.steps)
+            ]
+            self._active = active
+        return active
+
+    def retire_to(self, active: List[int]) -> None:
+        """Install the surviving-lane list after an advance sweep."""
+        self._active = active
 
     def current_step(self, lane: int) -> Step:
         """The step the lane executes this iteration."""
@@ -54,6 +94,7 @@ class Warp:
     def advance(self, lane: int) -> None:
         """Move the lane to its next step."""
         self.cursors[lane] += 1
+        self._active = None
 
     @property
     def done(self) -> bool:

@@ -1,0 +1,37 @@
+"""repro.perf: the performance layer's benchmark trajectory harness.
+
+Every PR is supposed to make a hot path measurably faster (ROADMAP north
+star); this package is how that claim is *recorded* rather than asserted.
+``run_benchmarks`` executes a pinned reference workload matrix — trace
+generation and timing simulation measured separately — and emits a
+``BENCH_<tag>.json`` payload (wall time, rays/s, cycles/s, peak RSS,
+calibration factor, suite git SHA).  ``compare_benchmarks`` gates a new
+payload against a committed baseline with a tolerance, normalizing wall
+times by each run's calibration loop so the gate survives machine-speed
+differences between a laptop and a CI runner.
+"""
+
+from repro.perf.bench import (
+    BenchPayload,
+    calibrate,
+    compare_benchmarks,
+    format_comparison,
+    format_payload,
+    load_payload,
+    run_benchmarks,
+    save_payload,
+)
+from repro.perf.workloads import REFERENCE_MATRIX, BenchCase
+
+__all__ = [
+    "BenchCase",
+    "BenchPayload",
+    "REFERENCE_MATRIX",
+    "calibrate",
+    "compare_benchmarks",
+    "format_comparison",
+    "format_payload",
+    "load_payload",
+    "run_benchmarks",
+    "save_payload",
+]

@@ -1,0 +1,380 @@
+"""Benchmark execution, payload format, and the regression gate.
+
+Wall-clock numbers from different machines are not comparable, so every
+payload also records a **calibration** time: a fixed, deterministic
+mixed Python/numpy spin loop shaped like the workloads themselves.  The
+regression gate compares *calibrated* wall times — ``wall / calibration``
+— which cancels most of the machine-speed difference between the box
+that committed ``BENCH_baseline.json`` and the CI runner re-measuring a
+pull request.
+
+Payload structure (``FORMAT_VERSION`` 1)::
+
+    {
+      "version": 1, "matrix_version": 1, "tag": "baseline",
+      "suite_sha": "37498b4" | null,
+      "machine": {"platform": ..., "python": ..., "numpy": ...},
+      "calibration_s": 0.123,
+      "results": {case: {"wall_s", "rays", "steps", "rays_per_s",
+                          "steps_per_s", "cycles", "cycles_per_s",
+                          "peak_rss_kb"}},
+      "totals": {"trace_wall_s": ..., "sim_wall_s": ...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.perf.workloads import MATRIX_VERSION, REFERENCE_MATRIX, BenchCase
+
+#: Bump when the payload structure changes.
+FORMAT_VERSION = 1
+
+#: Default regression tolerance of the gate (fractional slowdown).
+DEFAULT_TOLERANCE = 0.15
+
+
+class BenchError(ReproError):
+    """A benchmark run or comparison failed."""
+
+
+def calibrate(scale: int = 40) -> float:
+    """Time the fixed calibration spin; returns seconds.
+
+    The loop mixes interpreter-bound work (attribute-free integer
+    arithmetic) with small-array numpy work in roughly the proportions of
+    the tracer and timing model, so its runtime tracks how fast this
+    machine runs *our* kind of code, not peak FLOPS.
+    """
+    arr = np.arange(4096, dtype=np.float64)
+    small = np.arange(18, dtype=np.float64).reshape(6, 3)
+    start = time.perf_counter()
+    acc = 0.0
+    for _ in range(scale):
+        acc += float(np.sqrt(arr).sum())
+        for _ in range(40):
+            acc += float(np.nanmax((small - 0.5) * 1.25))
+        total = 0
+        for i in range(20_000):
+            total += (i * 2654435761) & 0xFFFF
+        acc += total & 1
+    if acc < 0:  # pragma: no cover - defeats dead-code elimination
+        print(acc)
+    return time.perf_counter() - start
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Peak resident set size in KB (None when unsupported)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - reported in bytes
+        peak //= 1024
+    return int(peak)
+
+
+def _suite_sha() -> Optional[str]:
+    """Short git SHA of the working tree, when available."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+@dataclass
+class BenchPayload:
+    """One benchmark run: per-case results plus run provenance."""
+
+    tag: str
+    calibration_s: float
+    results: Dict[str, dict] = field(default_factory=dict)
+    suite_sha: Optional[str] = None
+    machine: Dict[str, str] = field(default_factory=dict)
+    matrix_version: int = MATRIX_VERSION
+
+    @property
+    def trace_wall_s(self) -> float:
+        """Total wall time of the trace-generation cases."""
+        return sum(r["wall_s"] for name, r in self.results.items()
+                   if name.startswith("trace:"))
+
+    @property
+    def sim_wall_s(self) -> float:
+        """Total wall time of the timing-simulation cases."""
+        return sum(r["wall_s"] for name, r in self.results.items()
+                   if name.startswith("sim:"))
+
+    def calibrated(self, case: str) -> float:
+        """Machine-normalized wall time of one case."""
+        return self.results[case]["wall_s"] / self.calibration_s
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload."""
+        return {
+            "version": FORMAT_VERSION,
+            "matrix_version": self.matrix_version,
+            "tag": self.tag,
+            "suite_sha": self.suite_sha,
+            "machine": self.machine,
+            "calibration_s": self.calibration_s,
+            "results": self.results,
+            "totals": {
+                "trace_wall_s": self.trace_wall_s,
+                "sim_wall_s": self.sim_wall_s,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchPayload":
+        """Rebuild a payload written by :meth:`to_dict`."""
+        if data.get("version") != FORMAT_VERSION:
+            raise BenchError(
+                f"unsupported bench payload version {data.get('version')!r}"
+            )
+        return cls(
+            tag=data["tag"],
+            calibration_s=data["calibration_s"],
+            results=data["results"],
+            suite_sha=data.get("suite_sha"),
+            machine=data.get("machine", {}),
+            matrix_version=data.get("matrix_version", 0),
+        )
+
+
+def _machine_info() -> Dict[str, str]:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def run_benchmarks(
+    tag: str,
+    cases: Sequence[BenchCase] = REFERENCE_MATRIX,
+    repeats: int = 2,
+    log: Optional[Callable[[str], None]] = None,
+) -> BenchPayload:
+    """Execute the benchmark matrix; returns the measured payload.
+
+    Each case runs ``repeats`` times and reports the fastest repetition
+    (the standard way to suppress scheduler noise on a shared machine).
+    Scene and BVH construction are excluded from every measurement; a
+    ``sim`` case replays the traces its ``source`` trace case produced.
+    """
+    from repro.bvh.api import build_bvh
+    from repro.core.presets import named_config
+    from repro.gpu.simulator import GPUSimulator
+    from repro.trace.events import total_steps
+    from repro.trace.path import generate_workload
+    from repro.workloads.lumibench import load_scene
+
+    if repeats < 1:
+        raise BenchError("repeats must be >= 1")
+    say = log or (lambda message: None)
+    say(f"[bench:{tag}] calibrating ...")
+    calibration = min(calibrate() for _ in range(2))
+    payload = BenchPayload(
+        tag=tag,
+        calibration_s=calibration,
+        suite_sha=_suite_sha(),
+        machine=_machine_info(),
+    )
+
+    bvhs: Dict[str, object] = {}
+    traced: Dict[str, list] = {}
+
+    def bvh_for(scene_name: str):
+        if scene_name not in bvhs:
+            bvhs[scene_name] = build_bvh(load_scene(scene_name), width=6)
+        return bvhs[scene_name]
+
+    for case in cases:
+        if case.kind != "trace":
+            continue
+        bvh = bvh_for(case.scene)
+        best = float("inf")
+        workload = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            workload = generate_workload(
+                bvh, width=case.width, height=case.height,
+                spp=case.spp, max_bounces=case.bounces, seed=case.seed,
+            )
+            best = min(best, time.perf_counter() - start)
+        traces = workload.all_traces
+        traced[case.name] = traces
+        steps = total_steps(traces)
+        payload.results[case.name] = {
+            "wall_s": best,
+            "rays": len(traces),
+            "steps": steps,
+            "rays_per_s": len(traces) / best if best else 0.0,
+            "steps_per_s": steps / best if best else 0.0,
+            "cycles": None,
+            "cycles_per_s": None,
+            "peak_rss_kb": _peak_rss_kb(),
+        }
+        say(f"[bench:{tag}] {case.name}: {best:.3f}s "
+            f"({len(traces) / best:,.0f} rays/s)")
+
+    for case in cases:
+        if case.kind != "sim":
+            continue
+        if case.source not in traced:
+            raise BenchError(
+                f"sim case {case.name!r} references unknown trace case "
+                f"{case.source!r}"
+            )
+        traces = traced[case.source]
+        config = named_config(case.config)
+        best = float("inf")
+        output = None
+        for _ in range(repeats):
+            simulator = GPUSimulator(config=config)
+            start = time.perf_counter()
+            output = simulator.run_traces(traces)
+            best = min(best, time.perf_counter() - start)
+        cycles = output.counters.cycles
+        steps = output.counters.warp_steps
+        payload.results[case.name] = {
+            "wall_s": best,
+            "rays": len(traces),
+            "steps": steps,
+            "rays_per_s": len(traces) / best if best else 0.0,
+            "steps_per_s": steps / best if best else 0.0,
+            "cycles": cycles,
+            "cycles_per_s": cycles / best if best else 0.0,
+            "peak_rss_kb": _peak_rss_kb(),
+        }
+        say(f"[bench:{tag}] {case.name}: {best:.3f}s "
+            f"({cycles / best:,.0f} cycles/s)")
+    return payload
+
+
+def save_payload(payload: BenchPayload, path) -> Path:
+    """Write a payload to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(payload.to_dict(), indent=2) + "\n")
+    return path
+
+
+def load_payload(path) -> BenchPayload:
+    """Read a payload written by :func:`save_payload`."""
+    path = Path(path)
+    try:
+        return BenchPayload.from_dict(json.loads(path.read_text()))
+    except (OSError, json.JSONDecodeError) as error:
+        raise BenchError(f"cannot read bench payload {path}: {error}") from None
+
+
+def compare_benchmarks(
+    current: BenchPayload,
+    baseline: BenchPayload,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[dict]:
+    """Regression check of ``current`` against ``baseline``.
+
+    Compares calibrated wall times case by case; a case regresses when it
+    is more than ``tolerance`` slower than the baseline after machine
+    normalization.  Returns the list of regression records (empty =
+    gate passes).  Cases present in only one payload are ignored — the
+    matrix version check catches genuine matrix drift.
+    """
+    if current.matrix_version != baseline.matrix_version:
+        raise BenchError(
+            f"matrix version mismatch: current {current.matrix_version}, "
+            f"baseline {baseline.matrix_version} — re-baseline required"
+        )
+    regressions: List[dict] = []
+    for name in current.results:
+        if name not in baseline.results:
+            continue
+        now = current.calibrated(name)
+        then = baseline.calibrated(name)
+        if then <= 0:
+            continue
+        ratio = now / then
+        if ratio > 1.0 + tolerance:
+            regressions.append({
+                "case": name,
+                "ratio": ratio,
+                "current_wall_s": current.results[name]["wall_s"],
+                "baseline_wall_s": baseline.results[name]["wall_s"],
+            })
+    return regressions
+
+
+def format_payload(payload: BenchPayload) -> str:
+    """Human-readable table of one payload."""
+    lines = [
+        f"bench tag    : {payload.tag}"
+        + (f"  (suite {payload.suite_sha})" if payload.suite_sha else ""),
+        f"calibration  : {payload.calibration_s:.3f}s on "
+        f"{payload.machine.get('platform', 'unknown')}",
+        f"{'case':<28} {'wall s':>8} {'rays/s':>12} {'cycles/s':>12} "
+        f"{'RSS MB':>8}",
+    ]
+    for name, result in payload.results.items():
+        cycles_per_s = result.get("cycles_per_s")
+        rss = result.get("peak_rss_kb")
+        lines.append(
+            f"{name:<28} {result['wall_s']:>8.3f} "
+            f"{result['rays_per_s']:>12,.0f} "
+            f"{(f'{cycles_per_s:,.0f}' if cycles_per_s else '-'):>12} "
+            f"{(f'{rss / 1024:.0f}' if rss else '-'):>8}"
+        )
+    lines.append(
+        f"totals       : trace {payload.trace_wall_s:.3f}s, "
+        f"sim {payload.sim_wall_s:.3f}s"
+    )
+    return "\n".join(lines)
+
+
+def format_comparison(
+    current: BenchPayload,
+    baseline: BenchPayload,
+    regressions: Sequence[dict],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> str:
+    """Human-readable gate verdict with per-case speedup factors."""
+    lines = [
+        f"vs {baseline.tag}"
+        + (f" (suite {baseline.suite_sha})" if baseline.suite_sha else "")
+        + f", tolerance {tolerance:.0%} on calibrated wall time:"
+    ]
+    for name in current.results:
+        if name not in baseline.results:
+            lines.append(f"  {name:<28} (new case, no baseline)")
+            continue
+        then = baseline.calibrated(name)
+        now = current.calibrated(name)
+        if now <= 0 or then <= 0:
+            continue
+        speedup = then / now
+        marker = "REGRESSION" if any(r["case"] == name for r in regressions) \
+            else f"{speedup:.2f}x"
+        lines.append(f"  {name:<28} {marker}")
+    lines.append(
+        "gate: FAIL" if regressions else "gate: PASS"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""The pinned benchmark reference matrix.
+
+The matrix is deliberately frozen: changing a case's parameters creates a
+new measurement series that cannot be compared against committed
+``BENCH_*.json`` files, so edits here must bump :data:`MATRIX_VERSION`
+and re-baseline.  Two case kinds exist, mirroring the package's two-phase
+split:
+
+* ``trace`` — phase one: path-trace a Lumibench scene and measure ray
+  throughput of the functional tracer (BVH build time is excluded; it is
+  a one-off per scene and not a per-experiment hot path);
+* ``sim`` — phase two: replay a traced workload through the timing model
+  under one stack configuration and measure simulated-cycles-per-second.
+
+Scenes were chosen to span the suite's traversal character: CRNVL
+(moderate clutter, the CLI default), BUNNY (organic, shallow), SPNZA
+(architectural, many waves of coherent rays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Bump when the matrix below changes; payloads carry it so a comparison
+#: across incompatible matrices fails loudly instead of silently.
+MATRIX_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One pinned benchmark case.
+
+    ``kind`` is ``"trace"`` (measure workload generation) or ``"sim"``
+    (measure the timing model on the named trace case's output).
+    ``source`` names the ``trace`` case whose traces a ``sim`` case
+    replays, so the expensive phase-one work is shared.
+    """
+
+    name: str
+    kind: str  # "trace" | "sim"
+    scene: str
+    width: int = 24
+    height: int = 24
+    spp: int = 1
+    bounces: int = 2
+    seed: int = 0
+    config: Optional[str] = None  # sim cases: configuration label
+    source: Optional[str] = None  # sim cases: trace case supplying traces
+
+
+#: The reference matrix every ``BENCH_*.json`` measures.
+REFERENCE_MATRIX: Tuple[BenchCase, ...] = (
+    BenchCase(name="trace:CRNVL", kind="trace", scene="CRNVL",
+              width=48, height=48, bounces=3),
+    BenchCase(name="trace:BUNNY", kind="trace", scene="BUNNY",
+              width=64, height=64, bounces=2),
+    BenchCase(name="trace:SPNZA", kind="trace", scene="SPNZA",
+              width=48, height=48, bounces=2),
+    BenchCase(name="sim:CRNVL/RB_8", kind="sim", scene="CRNVL",
+              config="RB_8", source="trace:CRNVL"),
+    BenchCase(name="sim:CRNVL/RB_8+SH_8+SK+RA", kind="sim", scene="CRNVL",
+              config="RB_8+SH_8+SK+RA", source="trace:CRNVL"),
+    BenchCase(name="sim:BUNNY/RB_8+SH_8", kind="sim", scene="BUNNY",
+              config="RB_8+SH_8", source="trace:BUNNY"),
+)

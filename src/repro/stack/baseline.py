@@ -18,7 +18,14 @@ from typing import List
 
 from repro.errors import StackError
 from repro.stack.base import StackModel
-from repro.stack.ops import MemoryOp, MemSpace, OpKind, StackActivity, no_activity
+from repro.stack.ops import (
+    EMPTY_ACTIVITY,
+    MemoryOp,
+    MemSpace,
+    OpKind,
+    StackActivity,
+    no_activity,
+)
 from repro.stack.spill import SPILL_BASE_ADDRESS, SpillRegion
 
 
@@ -49,11 +56,12 @@ class BaselineStack(StackModel):
     def push(self, lane: int, value: int) -> StackActivity:
         self._check_lane(lane)
         rb = self._rb[lane]
-        activity = no_activity()
+        activity = EMPTY_ACTIVITY
         if len(rb) == self.rb_entries:
             # Overflow: oldest RB entry spills to global memory.
             oldest = rb.pop(0)
             spill = self._spilled[lane]
+            activity = no_activity()
             activity.ops.append(
                 MemoryOp(
                     space=MemSpace.GLOBAL,
@@ -71,11 +79,12 @@ class BaselineStack(StackModel):
         if not rb:
             raise StackError(f"pop from empty baseline stack (lane {lane})")
         value = rb.pop()
-        activity = no_activity()
+        activity = EMPTY_ACTIVITY
         spill = self._spilled[lane]
         if spill:
             # Eager reload: most recently spilled entry returns to the
             # bottom of the RB stack (Fig. 3 steps 4-5).
+            activity = no_activity()
             activity.ops.append(
                 MemoryOp(
                     space=MemSpace.GLOBAL,

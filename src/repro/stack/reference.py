@@ -11,7 +11,7 @@ from typing import List
 
 from repro.errors import StackError
 from repro.stack.base import StackModel
-from repro.stack.ops import StackActivity, no_activity
+from repro.stack.ops import EMPTY_ACTIVITY, StackActivity
 
 
 class ReferenceStack(StackModel):
@@ -24,13 +24,13 @@ class ReferenceStack(StackModel):
     def push(self, lane: int, value: int) -> StackActivity:
         self._check_lane(lane)
         self._stacks[lane].append(value)
-        return no_activity()
+        return EMPTY_ACTIVITY
 
     def pop(self, lane: int) -> "tuple[int, StackActivity]":
         self._check_lane(lane)
         if not self._stacks[lane]:
             raise StackError(f"pop from empty reference stack (lane {lane})")
-        return self._stacks[lane].pop(), no_activity()
+        return self._stacks[lane].pop(), EMPTY_ACTIVITY
 
     def depth(self, lane: int) -> int:
         self._check_lane(lane)

@@ -39,7 +39,14 @@ from typing import Deque, List, Optional
 from repro.errors import StackError
 from repro.stack.base import StackModel
 from repro.stack.layout import SharedStackLayout
-from repro.stack.ops import MemoryOp, MemSpace, OpKind, StackActivity, no_activity
+from repro.stack.ops import (
+    EMPTY_ACTIVITY,
+    MemoryOp,
+    MemSpace,
+    OpKind,
+    StackActivity,
+    no_activity,
+)
 from repro.stack.skew import base_entry_index
 from repro.stack.spill import SpillRegion
 
@@ -284,7 +291,7 @@ class SmsStack(StackModel):
                 f"lane {lane} has finished; reset() the warp before reuse"
             )
         rb = self._rb[lane]
-        activity = no_activity()
+        activity = EMPTY_ACTIVITY
         if len(rb) == self.rb_entries:
             oldest = rb.pop(0)
             activity = self._spill_to_sh(lane, oldest)
@@ -406,8 +413,10 @@ class SmsStack(StackModel):
         if not rb:
             raise StackError(f"pop from empty SMS stack (lane {lane})")
         value = rb.pop()
-        activity = no_activity()
         region = self._top_nonempty_region(lane)
+        if region is None and not self._spilled[lane]:
+            return value, EMPTY_ACTIVITY
+        activity = no_activity()
         if region is not None:
             # SH top -> RB bottom (shared load).
             reloaded, entry = region.pop_top()

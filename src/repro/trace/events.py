@@ -16,7 +16,7 @@ exact push/pop sequence of the paper's Fig. 3 walkthrough.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import List, Sequence
 
@@ -50,16 +50,51 @@ class Step:
     popped: bool         # next node came from a stack pop
 
 
-@dataclass
 class RayTrace:
-    """The full traversal record of one ray."""
+    """The full traversal record of one ray.
 
-    ray_id: int
-    pixel: int
-    kind: RayKind
-    steps: List[Step] = field(default_factory=list)
-    hit_prim: int = -1
-    hit_t: float = float("inf")
+    A plain ``__slots__`` class rather than a dataclass: workloads hold
+    hundreds of thousands of these and ``dataclass(slots=True)`` needs
+    Python 3.10 while the package supports 3.9.  The constructor and
+    equality semantics match the dataclass it replaced.
+    """
+
+    __slots__ = ("ray_id", "pixel", "kind", "steps", "hit_prim", "hit_t")
+
+    def __init__(
+        self,
+        ray_id: int,
+        pixel: int,
+        kind: RayKind,
+        steps: List[Step] = None,
+        hit_prim: int = -1,
+        hit_t: float = float("inf"),
+    ) -> None:
+        self.ray_id = ray_id
+        self.pixel = pixel
+        self.kind = kind
+        self.steps = [] if steps is None else steps
+        self.hit_prim = hit_prim
+        self.hit_t = hit_t
+
+    def __repr__(self) -> str:
+        return (
+            f"RayTrace(ray_id={self.ray_id!r}, pixel={self.pixel!r}, "
+            f"kind={self.kind!r}, steps={self.steps!r}, "
+            f"hit_prim={self.hit_prim!r}, hit_t={self.hit_t!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RayTrace):
+            return NotImplemented
+        return (
+            self.ray_id == other.ray_id
+            and self.pixel == other.pixel
+            and self.kind == other.kind
+            and self.steps == other.steps
+            and self.hit_prim == other.hit_prim
+            and self.hit_t == other.hit_t
+        )
 
     @property
     def hit(self) -> bool:

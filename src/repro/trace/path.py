@@ -103,9 +103,13 @@ def generate_workload(
     )
 
     next_ray_id = 0
-    # Wave 0: primary rays for every sample of every pixel.
-    primary_wave: List[RayTrace] = []
-    frontier = []  # (pixel, sample, ray, trace_result) hits to extend
+    # Wave 0: primary rays for every sample of every pixel, traced as one
+    # wavefront.  Ray ids run in generation order, exactly as the scalar
+    # loop assigned them.
+    primary_rays: List[Ray] = []
+    primary_ids: List[int] = []
+    primary_pixels: List[int] = []
+    primary_samples: List[int] = []
     for sample in range(spp):
         for pixel in range(camera.pixel_count):
             px, py = pixel % camera.width, pixel // camera.width
@@ -113,22 +117,34 @@ def generate_workload(
                 rng.uniform(pixel, sample, 1),
                 rng.uniform(pixel, sample, 2),
             ) if spp > 1 else (0.5, 0.5)
-            ray = camera.ray_for_pixel(px, py, jitter=jitter)
-            result = tracer.trace(
-                ray, ray_id=next_ray_id, pixel=pixel, kind=RayKind.PRIMARY
-            )
+            primary_rays.append(camera.ray_for_pixel(px, py, jitter=jitter))
+            primary_ids.append(next_ray_id)
+            primary_pixels.append(pixel)
+            primary_samples.append(sample)
             next_ray_id += 1
-            primary_wave.append(result.trace)
-            if result.hit:
-                frontier.append((pixel, sample, ray, result))
-    workload.waves.append(primary_wave)
+    primary_results = tracer.trace_wave(
+        primary_rays, primary_ids, primary_pixels, kind=RayKind.PRIMARY
+    )
+    workload.waves.append([result.trace for result in primary_results])
+    frontier = [  # (pixel, sample, ray, trace_result) hits to extend
+        (primary_pixels[i], primary_samples[i], primary_rays[i], result)
+        for i, result in enumerate(primary_results)
+        if result.hit
+    ]
 
     for bounce in range(max_bounces):
         if not frontier:
             break
-        shadow_wave: List[RayTrace] = []
-        bounce_wave: List[RayTrace] = []
-        next_frontier = []
+        # Spawn this wave's shadow and bounce rays first (ray ids
+        # interleave per frontier entry: shadow — when the hit point is
+        # not on the light — then bounce), then trace each wave batched.
+        shadow_rays: List[Ray] = []
+        shadow_ids: List[int] = []
+        shadow_pixels: List[int] = []
+        bounce_rays: List[Ray] = []
+        bounce_ids: List[int] = []
+        bounce_pixels: List[int] = []
+        bounce_samples: List[int] = []
         for pixel, sample, ray, result in frontier:
             hit_point = ray.at(result.hit_t)
             tri = scene.triangle(result.hit_prim)
@@ -140,31 +156,38 @@ def generate_workload(
             to_light = scene.light_position - hit_point
             distance = float(np.linalg.norm(to_light))
             if distance > 1e-6:
-                shadow = Ray(
+                shadow_rays.append(Ray(
                     origin=hit_point + normal * 1e-4,
                     direction=normalize(to_light),
                     t_max=distance,
-                )
-                shadow_result = tracer.trace(
-                    shadow, ray_id=next_ray_id, pixel=pixel,
-                    kind=RayKind.SHADOW, any_hit=True,
-                )
+                ))
+                shadow_ids.append(next_ray_id)
+                shadow_pixels.append(pixel)
                 next_ray_id += 1
-                shadow_wave.append(shadow_result.trace)
             # Bounce ray in a cosine-weighted random direction.
             direction = rng.cosine_hemisphere(normal, pixel, sample, bounce)
-            bounced = Ray(origin=hit_point + normal * 1e-4, direction=direction)
-            bounce_result = tracer.trace(
-                bounced, ray_id=next_ray_id, pixel=pixel, kind=RayKind.BOUNCE
+            bounce_rays.append(
+                Ray(origin=hit_point + normal * 1e-4, direction=direction)
             )
+            bounce_ids.append(next_ray_id)
+            bounce_pixels.append(pixel)
+            bounce_samples.append(sample)
             next_ray_id += 1
-            bounce_wave.append(bounce_result.trace)
-            if bounce_result.hit:
-                next_frontier.append((pixel, sample, bounced, bounce_result))
-        if shadow_wave:
-            workload.waves.append(shadow_wave)
-        if bounce_wave:
-            workload.waves.append(bounce_wave)
-        frontier = next_frontier
+        shadow_results = tracer.trace_wave(
+            shadow_rays, shadow_ids, shadow_pixels,
+            kind=RayKind.SHADOW, any_hit=True,
+        )
+        bounce_results = tracer.trace_wave(
+            bounce_rays, bounce_ids, bounce_pixels, kind=RayKind.BOUNCE
+        )
+        if shadow_results:
+            workload.waves.append([result.trace for result in shadow_results])
+        if bounce_results:
+            workload.waves.append([result.trace for result in bounce_results])
+        frontier = [
+            (bounce_pixels[i], bounce_samples[i], bounce_rays[i], result)
+            for i, result in enumerate(bounce_results)
+            if result.hit
+        ]
 
     return workload

@@ -6,19 +6,39 @@ and push the remaining hit children (far-to-near); at leaves run
 ray-triangle tests; obtain the next node by popping.  Closest-hit rays
 shrink ``t_max`` as hits are found; any-hit (shadow) rays terminate on the
 first triangle hit.
+
+Two tracing entry points share one set of kernels:
+
+* :meth:`Tracer.trace` — the scalar reference: one ray, one DFS, all data
+  read from the BVH's structure-of-arrays mirror (no per-visit slicing or
+  ``Ray`` boxing).
+* :meth:`Tracer.trace_wave` — the batched path: a whole wavefront of rays
+  streamed through the DFS node-major.  Each round groups active rays by
+  the node they currently occupy and intersects the group against that
+  node's children in a single ``(m, k, 3)`` slab call; rays fall back to
+  the per-ray kernel only where divergence leaves a group of one.  The
+  per-ray push/pop bookkeeping stays scalar, so the emitted event stream
+  is byte-identical to :meth:`Tracer.trace` — traversal decisions depend
+  only on per-ray arithmetic, and the broadcast slab test evaluates the
+  exact same IEEE expressions as the scalar one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from operator import itemgetter
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.bvh.wide import WideBVH
-from repro.geometry.intersect import ray_aabb_intersect_batch, ray_triangle_intersect
+from repro.geometry.intersect import moeller_trumbore, slab_test
 from repro.geometry.ray import Ray
 from repro.trace.events import NodeKind, RayKind, RayTrace, Step
+
+#: Node groups at least this large take the broadcast slab path; smaller
+#: groups use the per-ray kernel (same bits, less numpy overhead).
+_BATCH_THRESHOLD = 2
 
 
 @dataclass
@@ -41,6 +61,7 @@ class Tracer:
     def __init__(self, bvh: WideBVH) -> None:
         self.bvh = bvh
         self.scene = bvh.scene
+        self.soa = bvh.soa()
 
     def trace(
         self,
@@ -55,78 +76,284 @@ class Tracer:
         Returns a :class:`TraceResult` whose trace carries the full stack
         event stream.
         """
-        bvh = self.bvh
-        trace = RayTrace(ray_id=ray_id, pixel=pixel, kind=kind)
+        soa = self.soa
+        node_address = soa.node_address
+        node_size = soa.node_size_bytes
+        node_is_leaf = soa.node_is_leaf
+        child_offset = soa.child_offset
+        child_count = soa.child_count
+        child_index = soa.child_index
+        child_address = soa.child_address
+        child_lo = soa.child_lo
+        child_hi = soa.child_hi
+        prim_offset = soa.prim_offset
+        prim_count = soa.prim_count
+        prim_ids = soa.prim_ids
+        tri_a = soa.tri_a
+        tri_e1 = soa.tri_e1
+        tri_e2 = soa.tri_e2
+        tri_e1_f = soa.tri_e1_f
+        tri_e2_f = soa.tri_e2_f
+
+        origin = ray.origin
+        direction = ray.direction
+        inv = ray.inv_direction
+        d0 = float(direction[0])
+        d1 = float(direction[1])
+        d2 = float(direction[2])
+        t_min = ray.t_min
         best_t = ray.t_max
         best_prim = -1
 
+        trace = RayTrace(ray_id=ray_id, pixel=pixel, kind=kind)
+        steps = trace.steps
         # Traversal stack of node indices (the *logical* stack; physical
         # placement is the timing model's concern).
         stack: List[int] = []
-        current: Optional[int] = bvh.root
+        current: int = self.bvh.root
         done = False
-        while not done:
-            node = bvh.nodes[current]
-            pushes: List[int] = []
-            if node.is_leaf:
-                node_kind = NodeKind.LEAF
-                tests = len(node.prim_ids)
-                for prim_id in node.prim_ids:
-                    t = ray_triangle_intersect(
-                        Ray(ray.origin, ray.direction, ray.t_min, best_t),
-                        self.scene.triangle(prim_id),
+        with np.errstate(invalid="ignore"):
+            while not done:
+                pushes: List[int] = []
+                if node_is_leaf[current]:
+                    node_kind = NodeKind.LEAF
+                    p0 = prim_offset[current]
+                    tests = prim_count[current]
+                    for prim_id in prim_ids[p0 : p0 + tests]:
+                        t = moeller_trumbore(
+                            origin, d0, d1, d2, direction, t_min, best_t,
+                            tri_a[prim_id], tri_e1[prim_id], tri_e2[prim_id],
+                            tri_e1_f[prim_id], tri_e2_f[prim_id],
+                        )
+                        if t is not None and t < best_t:
+                            best_t = t
+                            best_prim = prim_id
+                            if any_hit:
+                                break
+                    next_node: Optional[int] = None
+                else:
+                    node_kind = NodeKind.INTERNAL
+                    c0 = child_offset[current]
+                    tests = child_count[current]
+                    hit_mask, t_enter = slab_test(
+                        origin, inv, t_min, best_t,
+                        child_lo[c0 : c0 + tests], child_hi[c0 : c0 + tests],
                     )
-                    if t is not None and t < best_t:
-                        best_t = t
-                        best_prim = prim_id
-                        if any_hit:
-                            break
-                next_node = None
-            else:
-                node_kind = NodeKind.INTERNAL
-                clipped = Ray(ray.origin, ray.direction, ray.t_min, best_t)
-                hit_mask, t_enter = ray_aabb_intersect_batch(
-                    clipped, bvh.child_los[node.index], bvh.child_his[node.index]
-                )
-                tests = node.child_count
-                hit_children = [
-                    (float(t_enter[i]), node.children[i])
-                    for i in range(node.child_count)
-                    if hit_mask[i]
-                ]
-                if hit_children:
-                    # Nearest child visited next; others pushed far-to-near
-                    # so the nearest remaining sibling pops first.
-                    hit_children.sort(key=lambda pair: pair[0])
-                    next_node = hit_children[0][1]
-                    for _, child_index in reversed(hit_children[1:]):
-                        pushes.append(bvh.nodes[child_index].address)
-                        stack.append(child_index)
-                else:
-                    next_node = None
+                    hits = hit_mask.tolist()
+                    enters = t_enter.tolist()
+                    hit_children = [
+                        (enters[i], child_index[c0 + i], child_address[c0 + i])
+                        for i in range(tests)
+                        if hits[i]
+                    ]
+                    if hit_children:
+                        # Nearest child visited next; others pushed far-to-near
+                        # so the nearest remaining sibling pops first.
+                        hit_children.sort(key=itemgetter(0))
+                        next_node = hit_children[0][1]
+                        for pos in range(len(hit_children) - 1, 0, -1):
+                            pushes.append(hit_children[pos][2])
+                            stack.append(hit_children[pos][1])
+                    else:
+                        next_node = None
 
-            popped = False
-            if next_node is None:
-                if any_hit and best_prim >= 0:
-                    done = True  # shadow ray satisfied; abandon the stack
-                elif stack:
-                    next_node = stack.pop()
-                    popped = True
-                else:
-                    done = True
-            trace.steps.append(
-                Step(
-                    address=node.address,
-                    size_bytes=node.size_bytes,
-                    kind=node_kind,
-                    tests=tests,
-                    pushes=pushes,
-                    popped=popped,
+                popped = False
+                if next_node is None:
+                    if any_hit and best_prim >= 0:
+                        done = True  # shadow ray satisfied; abandon the stack
+                    elif stack:
+                        next_node = stack.pop()
+                        popped = True
+                    else:
+                        done = True
+                steps.append(
+                    Step(
+                        node_address[current], node_size[current],
+                        node_kind, tests, pushes, popped,
+                    )
                 )
-            )
-            if next_node is not None:
-                current = next_node
+                if next_node is not None:
+                    current = next_node
 
         trace.hit_prim = best_prim
         trace.hit_t = best_t if best_prim >= 0 else float("inf")
         return TraceResult(trace=trace, hit_prim=best_prim, hit_t=trace.hit_t)
+
+    def trace_wave(
+        self,
+        rays: Sequence[Ray],
+        ray_ids: Sequence[int],
+        pixels: Sequence[int],
+        kind: RayKind = RayKind.PRIMARY,
+        any_hit: bool = False,
+    ) -> List[TraceResult]:
+        """Trace a wavefront of rays concurrently, node-major.
+
+        All rays share ``kind`` and ``any_hit`` (a wave is homogeneous by
+        construction).  Results come back in input order, and each ray's
+        event stream is byte-identical to what :meth:`trace` emits for
+        it — the wavefront only changes *when* each ray's per-node work
+        runs, never its arithmetic.
+        """
+        count = len(rays)
+        if count == 0:
+            return []
+        soa = self.soa
+        node_address = soa.node_address
+        node_size = soa.node_size_bytes
+        node_is_leaf = soa.node_is_leaf
+        child_offset = soa.child_offset
+        child_count = soa.child_count
+        child_index = soa.child_index
+        child_address = soa.child_address
+        child_lo = soa.child_lo
+        child_hi = soa.child_hi
+        prim_offset = soa.prim_offset
+        prim_count = soa.prim_count
+        prim_ids = soa.prim_ids
+        tri_a = soa.tri_a
+        tri_e1 = soa.tri_e1
+        tri_e2 = soa.tri_e2
+        tri_e1_f = soa.tri_e1_f
+        tri_e2_f = soa.tri_e2_f
+
+        origins = np.stack([ray.origin for ray in rays])
+        invs = np.stack([ray.inv_direction for ray in rays])
+        t_mins = np.array([ray.t_min for ray in rays])
+        directions = [ray.direction for ray in rays]
+        dir_f = [
+            (float(d[0]), float(d[1]), float(d[2])) for d in directions
+        ]
+        best_t = [ray.t_max for ray in rays]
+        best_prim = [-1] * count
+        stacks: List[List[int]] = [[] for _ in range(count)]
+        traces = [
+            RayTrace(ray_id=ray_ids[i], pixel=pixels[i], kind=kind)
+            for i in range(count)
+        ]
+        current = [self.bvh.root] * count
+        active = list(range(count))
+
+        with np.errstate(invalid="ignore"):
+            while active:
+                # Group the wavefront by occupied node; each group is one
+                # batched children test (or a scalar visit for leaves and
+                # fully diverged singleton rays).
+                groups = {}
+                for i in active:
+                    node = current[i]
+                    bucket = groups.get(node)
+                    if bucket is None:
+                        groups[node] = [i]
+                    else:
+                        bucket.append(i)
+                next_active: List[int] = []
+                for node, members in groups.items():
+                    leaf = node_is_leaf[node]
+                    if leaf:
+                        p0 = prim_offset[node]
+                        tests = prim_count[node]
+                        leaf_prims = prim_ids[p0 : p0 + tests]
+                    else:
+                        c0 = child_offset[node]
+                        tests = child_count[node]
+                        los = child_lo[c0 : c0 + tests]
+                        his = child_hi[c0 : c0 + tests]
+                        if len(members) >= _BATCH_THRESHOLD:
+                            sel = np.array(members)
+                            hit_mask, t_enter = slab_test(
+                                origins[sel][:, None, :],
+                                invs[sel][:, None, :],
+                                t_mins[sel][:, None],
+                                np.array([best_t[i] for i in members])[:, None],
+                                los, his,
+                            )
+                            hit_rows = hit_mask.tolist()
+                            enter_rows = t_enter.tolist()
+                        else:
+                            i = members[0]
+                            hit_mask, t_enter = slab_test(
+                                origins[i], invs[i], t_mins[i], best_t[i],
+                                los, his,
+                            )
+                            hit_rows = [hit_mask.tolist()]
+                            enter_rows = [t_enter.tolist()]
+                    address = node_address[node]
+                    size_bytes = node_size[node]
+                    for row, i in enumerate(members):
+                        pushes: List[int] = []
+                        if leaf:
+                            node_kind = NodeKind.LEAF
+                            origin = origins[i]
+                            d0, d1, d2 = dir_f[i]
+                            direction = directions[i]
+                            t_min = t_mins[i]
+                            bt = best_t[i]
+                            bp = best_prim[i]
+                            for prim_id in leaf_prims:
+                                t = moeller_trumbore(
+                                    origin, d0, d1, d2, direction, t_min, bt,
+                                    tri_a[prim_id], tri_e1[prim_id],
+                                    tri_e2[prim_id],
+                                    tri_e1_f[prim_id], tri_e2_f[prim_id],
+                                )
+                                if t is not None and t < bt:
+                                    bt = t
+                                    bp = prim_id
+                                    if any_hit:
+                                        break
+                            best_t[i] = bt
+                            best_prim[i] = bp
+                            next_node: Optional[int] = None
+                        else:
+                            node_kind = NodeKind.INTERNAL
+                            hits = hit_rows[row]
+                            enters = enter_rows[row]
+                            hit_children = [
+                                (
+                                    enters[q],
+                                    child_index[c0 + q],
+                                    child_address[c0 + q],
+                                )
+                                for q in range(tests)
+                                if hits[q]
+                            ]
+                            if hit_children:
+                                hit_children.sort(key=itemgetter(0))
+                                next_node = hit_children[0][1]
+                                stack = stacks[i]
+                                for pos in range(len(hit_children) - 1, 0, -1):
+                                    pushes.append(hit_children[pos][2])
+                                    stack.append(hit_children[pos][1])
+                            else:
+                                next_node = None
+
+                        popped = False
+                        if next_node is None:
+                            if any_hit and best_prim[i] >= 0:
+                                pass  # shadow ray satisfied; abandon stack
+                            elif stacks[i]:
+                                next_node = stacks[i].pop()
+                                popped = True
+                        traces[i].steps.append(
+                            Step(
+                                address, size_bytes, node_kind,
+                                tests, pushes, popped,
+                            )
+                        )
+                        if next_node is not None:
+                            current[i] = next_node
+                            next_active.append(i)
+                active = next_active
+
+        results = []
+        for i in range(count):
+            trace = traces[i]
+            trace.hit_prim = best_prim[i]
+            trace.hit_t = best_t[i] if best_prim[i] >= 0 else float("inf")
+            results.append(
+                TraceResult(
+                    trace=trace, hit_prim=trace.hit_prim, hit_t=trace.hit_t
+                )
+            )
+        return results

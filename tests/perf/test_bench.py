@@ -1,0 +1,140 @@
+"""The benchmark harness: payloads, persistence, and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    BenchError,
+    BenchPayload,
+    calibrate,
+    compare_benchmarks,
+    format_comparison,
+    format_payload,
+    load_payload,
+    run_benchmarks,
+    save_payload,
+)
+from repro.perf.workloads import MATRIX_VERSION, REFERENCE_MATRIX, BenchCase
+
+
+def _payload(tag="t", calibration=0.1, wall=1.0, name="trace:X",
+             matrix_version=MATRIX_VERSION):
+    payload = BenchPayload(
+        tag=tag, calibration_s=calibration, matrix_version=matrix_version
+    )
+    payload.results[name] = {
+        "wall_s": wall, "rays": 10, "steps": 100,
+        "rays_per_s": 10 / wall, "steps_per_s": 100 / wall,
+        "cycles": None, "cycles_per_s": None, "peak_rss_kb": None,
+    }
+    return payload
+
+
+def test_reference_matrix_is_well_formed():
+    names = [case.name for case in REFERENCE_MATRIX]
+    assert len(names) == len(set(names))
+    trace_names = {c.name for c in REFERENCE_MATRIX if c.kind == "trace"}
+    for case in REFERENCE_MATRIX:
+        assert case.kind in ("trace", "sim")
+        if case.kind == "sim":
+            assert case.source in trace_names
+            assert case.config
+
+
+def test_calibration_is_positive_and_scales():
+    short = calibrate(scale=1)
+    assert short > 0
+
+
+def test_payload_roundtrip(tmp_path):
+    payload = _payload(tag="roundtrip", wall=0.5)
+    path = save_payload(payload, tmp_path / "BENCH_x.json")
+    clone = load_payload(path)
+    assert clone.tag == "roundtrip"
+    assert clone.matrix_version == payload.matrix_version
+    assert clone.results == payload.results
+    assert clone.trace_wall_s == payload.trace_wall_s
+
+
+def test_load_rejects_bad_version(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"version": 999, "tag": "x"}))
+    with pytest.raises(BenchError):
+        load_payload(path)
+
+
+def test_gate_passes_within_tolerance():
+    baseline = _payload(tag="baseline", wall=1.0)
+    current = _payload(tag="pr", wall=1.1)  # 10% slower, 15% tolerance
+    assert compare_benchmarks(current, baseline) == []
+
+
+def test_gate_flags_regression():
+    baseline = _payload(tag="baseline", wall=1.0)
+    current = _payload(tag="pr", wall=1.5)
+    regressions = compare_benchmarks(current, baseline)
+    assert len(regressions) == 1
+    assert regressions[0]["case"] == "trace:X"
+    assert regressions[0]["ratio"] == pytest.approx(1.5)
+
+
+def test_gate_normalizes_by_calibration():
+    # Same code on a machine 2x slower: wall doubles, calibration doubles,
+    # calibrated time is unchanged -> no regression.
+    baseline = _payload(tag="baseline", calibration=0.1, wall=1.0)
+    current = _payload(tag="pr", calibration=0.2, wall=2.0)
+    assert compare_benchmarks(current, baseline) == []
+
+
+def test_gate_rejects_matrix_mismatch():
+    baseline = _payload(tag="baseline", matrix_version=MATRIX_VERSION)
+    current = _payload(tag="pr", matrix_version=MATRIX_VERSION + 1)
+    with pytest.raises(BenchError):
+        compare_benchmarks(current, baseline)
+
+
+def test_formatters_render():
+    baseline = _payload(tag="baseline", wall=1.0)
+    current = _payload(tag="pr", wall=1.5)
+    regressions = compare_benchmarks(current, baseline)
+    table = format_payload(current)
+    assert "trace:X" in table and "totals" in table
+    verdict = format_comparison(current, baseline, regressions)
+    assert "REGRESSION" in verdict and "gate: FAIL" in verdict
+    assert "gate: PASS" in format_comparison(baseline, baseline, [])
+
+
+def test_run_benchmarks_smoke():
+    # One tiny trace case plus a sim case on its output: exercises the
+    # full measurement path in well under a second.
+    cases = (
+        BenchCase(name="trace:BUNNY", kind="trace", scene="BUNNY",
+                  width=6, height=6, bounces=1),
+        BenchCase(name="sim:BUNNY/RB_8", kind="sim", scene="BUNNY",
+                  config="RB_8", source="trace:BUNNY"),
+    )
+    messages = []
+    payload = run_benchmarks("smoke", cases=cases, repeats=1,
+                             log=messages.append)
+    assert set(payload.results) == {"trace:BUNNY", "sim:BUNNY/RB_8"}
+    trace_result = payload.results["trace:BUNNY"]
+    assert trace_result["wall_s"] > 0 and trace_result["rays"] > 0
+    sim_result = payload.results["sim:BUNNY/RB_8"]
+    assert sim_result["cycles"] and sim_result["cycles_per_s"] > 0
+    assert payload.calibration_s > 0
+    assert any("calibrating" in m for m in messages)
+
+
+def test_run_benchmarks_rejects_unknown_source():
+    cases = (
+        BenchCase(name="sim:X", kind="sim", scene="BUNNY",
+                  config="RB_8", source="trace:MISSING"),
+    )
+    with pytest.raises(BenchError):
+        run_benchmarks("bad", cases=cases, repeats=1)
+
+
+def test_run_benchmarks_rejects_zero_repeats():
+    with pytest.raises(BenchError):
+        run_benchmarks("bad", cases=(), repeats=0)

@@ -1,0 +1,95 @@
+"""Slotted hot-path classes must survive pickling.
+
+The perf work moved several per-step record types from dataclasses to
+``__slots__`` classes (no ``__dict__``, no per-instance dict allocation).
+The runtime result store and campaign executor pickle workloads across
+process boundaries, so every one of these must round-trip — including
+through the oldest protocol the suite supports.
+"""
+
+import pickle
+
+import pytest
+
+from repro.gpu.warp import Warp
+from repro.stack.ops import MemoryOp, MemSpace, OpKind, StackActivity
+from repro.trace.events import NodeKind, RayKind, RayTrace, Step
+
+
+def _roundtrip(obj, protocol):
+    return pickle.loads(pickle.dumps(obj, protocol=protocol))
+
+
+PROTOCOLS = [2, pickle.HIGHEST_PROTOCOL]
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_step_roundtrip(protocol):
+    step = Step(
+        address=0x1000_0040, size_bytes=80, kind=NodeKind.INTERNAL,
+        tests=6, pushes=[0x1000_0080, 0x1000_00C0], popped=False,
+    )
+    clone = _roundtrip(step, protocol)
+    assert clone == step
+    assert clone.pushes == step.pushes
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_ray_trace_roundtrip(protocol):
+    trace = RayTrace(ray_id=7, pixel=3, kind=RayKind.SHADOW)
+    trace.steps.append(
+        Step(address=0x1000_0000, size_bytes=80, kind=NodeKind.LEAF,
+             tests=2, pushes=[], popped=True)
+    )
+    trace.hit_prim = 12
+    trace.hit_t = 3.5
+    clone = _roundtrip(trace, protocol)
+    assert clone == trace
+    assert clone.hit and clone.step_count == 1
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_warp_roundtrip(protocol):
+    traces = [RayTrace(ray_id=i, pixel=i, kind=RayKind.PRIMARY) for i in range(3)]
+    for trace in traces:
+        trace.steps.append(
+            Step(address=0x1000_0000, size_bytes=80, kind=NodeKind.INTERNAL,
+                 tests=4, pushes=[], popped=False)
+        )
+    warp = Warp(warp_id=5, traces=traces)
+    warp.cursors = [1, 0, 0]
+    warp.ready_time = 42
+    clone = _roundtrip(warp, protocol)
+    assert clone.warp_id == warp.warp_id
+    assert clone.cursors == warp.cursors
+    assert clone.ready_time == warp.ready_time
+    assert clone.traces == warp.traces
+    assert clone.active_lanes() == warp.active_lanes()
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_memory_op_roundtrip(protocol):
+    op = MemoryOp(MemSpace.GLOBAL, OpKind.STORE, 0x8000_0010, size_bytes=8)
+    clone = _roundtrip(op, protocol)
+    assert clone == op
+    assert hash(clone) == hash(op)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_stack_activity_roundtrip(protocol):
+    activity = StackActivity(
+        ops=[MemoryOp(MemSpace.SHARED, OpKind.LOAD, 0x40)],
+        extra_cycles=3,
+    )
+    clone = _roundtrip(activity, protocol)
+    assert clone == activity
+    assert clone.merge(clone).ops == activity.ops + activity.ops
+
+
+def test_slots_reject_arbitrary_attributes():
+    trace = RayTrace(ray_id=0, pixel=0, kind=RayKind.PRIMARY)
+    with pytest.raises(AttributeError):
+        trace.scratch = 1
+    op = MemoryOp(MemSpace.SHARED, OpKind.LOAD, 0)
+    with pytest.raises(AttributeError):
+        op.scratch = 1

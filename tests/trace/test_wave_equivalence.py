@@ -1,0 +1,101 @@
+"""The batched wavefront tracer must be bit-identical to the scalar one.
+
+``Tracer.trace_wave`` is a pure performance path: it regroups *when* each
+ray's per-node work runs but never changes the arithmetic.  These tests
+pin that contract on every Lumibench scene — full ``RayTrace`` equality
+(step streams, hit ids, hit distances as exact floats), closest-hit and
+any-hit, batched groups and fully diverged singletons alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bvh.api import build_bvh
+from repro.geometry.ray import Ray
+from repro.geometry.vec import normalize
+from repro.trace.events import RayKind
+from repro.trace.path import _default_camera
+from repro.trace.tracer import Tracer
+from repro.workloads.lumibench import SCENE_NAMES, load_scene
+
+
+def _wave_rays(bvh, width=6, height=6, extra_random=16, seed=7):
+    """Camera rays over the whole frame plus unstructured random rays."""
+    camera = _default_camera(bvh, width, height)
+    rays = [
+        camera.ray_for_pixel(px, py)
+        for py in range(height)
+        for px in range(width)
+    ]
+    rng = np.random.default_rng(seed)
+    aabb = bvh.scene.bounds()
+    lo, hi = aabb.lo, aabb.hi
+    center = (lo + hi) / 2.0
+    radius = float(np.linalg.norm(hi - lo)) / 2.0 + 1.0
+    for _ in range(extra_random):
+        origin = center + rng.uniform(-radius, radius, size=3)
+        direction = normalize(rng.normal(size=3))
+        rays.append(Ray(origin=origin, direction=direction))
+    return rays
+
+
+@pytest.mark.parametrize("scene_name", SCENE_NAMES)
+def test_wave_matches_scalar_on_every_scene(scene_name):
+    bvh = build_bvh(load_scene(scene_name), width=6)
+    tracer = Tracer(bvh)
+    rays = _wave_rays(bvh)
+    ray_ids = list(range(len(rays)))
+    pixels = [i % 36 for i in ray_ids]
+
+    wave = tracer.trace_wave(rays, ray_ids, pixels, kind=RayKind.PRIMARY)
+    assert len(wave) == len(rays)
+    for i, ray in enumerate(rays):
+        scalar = tracer.trace(
+            ray, ray_id=ray_ids[i], pixel=pixels[i], kind=RayKind.PRIMARY
+        )
+        assert wave[i].trace == scalar.trace, (
+            f"{scene_name}: ray {i} diverged from the scalar tracer"
+        )
+        assert wave[i].hit_prim == scalar.hit_prim
+        assert wave[i].hit_t == scalar.hit_t  # exact, not approx
+
+
+@pytest.mark.parametrize("scene_name", ["CRNVL", "BUNNY", "SPNZA"])
+def test_wave_matches_scalar_any_hit(scene_name):
+    bvh = build_bvh(load_scene(scene_name), width=6)
+    tracer = Tracer(bvh)
+    rays = _wave_rays(bvh, width=5, height=5, extra_random=10, seed=11)
+    ray_ids = list(range(len(rays)))
+    pixels = [0] * len(rays)
+
+    wave = tracer.trace_wave(
+        rays, ray_ids, pixels, kind=RayKind.SHADOW, any_hit=True
+    )
+    for i, ray in enumerate(rays):
+        scalar = tracer.trace(
+            ray, ray_id=i, pixel=0, kind=RayKind.SHADOW, any_hit=True
+        )
+        assert wave[i].trace == scalar.trace
+        assert wave[i].hit_prim == scalar.hit_prim
+        assert wave[i].hit_t == scalar.hit_t
+
+
+def test_wave_of_one_and_empty_wave():
+    bvh = build_bvh(load_scene("BUNNY"), width=6)
+    tracer = Tracer(bvh)
+    assert tracer.trace_wave([], [], []) == []
+    ray = _wave_rays(bvh, width=1, height=1, extra_random=0)[0]
+    wave = tracer.trace_wave([ray], [42], [3])
+    scalar = tracer.trace(ray, ray_id=42, pixel=3)
+    assert wave[0].trace == scalar.trace
+
+
+def test_wave_results_in_input_order():
+    bvh = build_bvh(load_scene("SPNZA"), width=6)
+    tracer = Tracer(bvh)
+    rays = _wave_rays(bvh, width=4, height=4, extra_random=8)
+    ray_ids = [100 + i for i in range(len(rays))]
+    pixels = [i * 2 for i in range(len(rays))]
+    wave = tracer.trace_wave(rays, ray_ids, pixels)
+    assert [r.trace.ray_id for r in wave] == ray_ids
+    assert [r.trace.pixel for r in wave] == pixels

@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Benchmark trajectory harness — thin wrapper over ``repro bench``.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/bench.py --tag pr --compare BENCH_baseline.json
+
+Measures the pinned reference matrix (``repro.perf.workloads``), writes
+``BENCH_<tag>.json``, and exits non-zero when the regression gate fails.
+Identical to ``python -m repro bench``; this entry point exists so CI and
+developers can run the harness without installing the package.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))
