@@ -23,6 +23,9 @@ Installed as ``python -m repro``.  Commands:
     Run the pinned benchmark matrix (trace generation and timing
     simulation measured separately), write ``BENCH_<tag>.json``, and
     optionally gate against a committed baseline payload.
+``lint``
+    Run the simlint determinism/invariant static analysis over source
+    trees; exit 0 clean, 1 on findings, 2 on unusable input.
 """
 
 from __future__ import annotations
@@ -102,6 +105,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="allowed calibrated slowdown (default 0.15)")
     bench.add_argument("--repeats", type=int, default=2,
                        help="repetitions per case; fastest wins (default 2)")
+
+    lint = sub.add_parser(
+        "lint", help="run the simlint static analysis over source trees"
+    )
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (default text)")
+    lint.add_argument("--out", default=None,
+                      help="also write the report to this file")
+    lint.add_argument("--config", default=None,
+                      help="pyproject.toml to read [tool.simlint] from "
+                      "(default: ./pyproject.toml)")
+    lint.add_argument("--baseline", default=None,
+                      help="baseline file (default: the configured one)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore the baseline; report every finding")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="grandfather all current findings into the "
+                      "baseline file and exit 0")
+    lint.add_argument("--show-baselined", action="store_true",
+                      help="include baselined findings in text output")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
     return parser
 
 
@@ -316,6 +343,51 @@ def _cmd_bench(args) -> int:
     return 1 if regressions else 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.simlint import (
+        all_rules,
+        lint_paths,
+        load_baseline,
+        load_config,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  [{rule.category}/{rule.severity}] {rule.title}")
+            print(f"       {rule.rationale}")
+        return 0
+    config = load_config(args.config)
+    paths = args.paths or ["src"]
+    baseline_path = args.baseline or config.baseline_path
+    baseline = None
+    if baseline_path and not args.no_baseline and not args.write_baseline:
+        baseline = load_baseline(baseline_path)
+    report = lint_paths(paths, config=config, baseline=baseline)
+    if args.write_baseline:
+        if baseline_path is None:
+            print("error: no baseline path configured or given",
+                  file=sys.stderr)
+            return 2
+        write_baseline(baseline_path, report.findings)
+        print(f"baselined {len(report.findings)} finding(s) into "
+              f"{baseline_path}")
+        return 0
+    text = (
+        render_json(report) if args.format == "json"
+        else render_text(report, show_baselined=args.show_baselined)
+    )
+    print(text)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text + "\n")
+        print(f"report written to {args.out}", file=sys.stderr)
+    return report.exit_code
+
+
 def _cmd_overhead() -> int:
     print(sms_hardware_overhead().summary())
     return 0
@@ -342,6 +414,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_chaos(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         parser.error(f"unknown command {args.command!r}")
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

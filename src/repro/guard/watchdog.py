@@ -104,8 +104,14 @@ class ProgressWatchdog:
                 try:
                     entry["depth"] = stack.depth(lane)
                     entry["top"] = stack.contents(lane)[-_SNAPSHOT_TOP_ENTRIES:]
-                except Exception:  # a corrupted model must not mask the stall
+                except Exception as masked:
+                    # A corrupted model must not mask the stall — but the
+                    # corruption itself is evidence, so it rides on the
+                    # stall report instead of vanishing.
                     entry["depth"] = None
                     entry["top"] = []
+                    entry["snapshot_error"] = (
+                        f"{type(masked).__name__}: {masked}"
+                    )
             snapshots[lane] = entry
         return snapshots

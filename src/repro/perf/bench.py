@@ -70,7 +70,7 @@ def calibrate(scale: int = 40) -> float:
             total += (i * 2654435761) & 0xFFFF
         acc += total & 1
     if acc < 0:  # pragma: no cover - defeats dead-code elimination
-        print(acc)
+        print(acc)  # simlint: disable=SL402
     return time.perf_counter() - start
 
 

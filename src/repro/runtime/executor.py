@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 import time
+import traceback
 from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -162,27 +163,51 @@ def _describe(job) -> str:
     return job.describe() if hasattr(job, "describe") else repr(job)
 
 
-def _give_up(state, exc, store, metrics):
+def _format_traceback(exc) -> str:
+    """The full formatted traceback of a caught exception.
+
+    Includes chained causes — for pool workers that is the remote
+    traceback ``concurrent.futures`` attaches as ``__cause__``, so the
+    record names the raise site inside the worker, not just this
+    process's ``future.result()`` frame.
+    """
+    return "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
+
+
+def _give_up(state, exc, store, metrics, traceback_text=None):
     """Raise the terminal failure for a job, recording guard violations.
 
     A :class:`GuardViolationError` is a deterministic integrity failure:
     retrying cannot help, and caching any partial result would poison
-    the store.  Record it as a structured failure sidecar instead, then
-    surface it wrapped in :class:`JobExecutionError`.
+    the store.  Record it as a structured failure sidecar instead — with
+    the captured traceback attached, so the record pinpoints the raise
+    site — then surface it wrapped in :class:`JobExecutionError`.  The
+    wrapper carries the traceback text as ``traceback_text`` for
+    non-guard failures too.
     """
     metrics.failed += 1
+    if traceback_text is None:
+        traceback_text = _format_traceback(exc)
     if isinstance(exc, GuardViolationError):
         if store is not None:
             spec = state.job.spec() if hasattr(state.job, "spec") else None
-            store.record_failure(state.key, exc, spec=spec)
-        raise JobExecutionError(
+            store.record_failure(
+                state.key, exc, spec=spec, traceback_text=traceback_text
+            )
+        error = JobExecutionError(
             f"job {_describe(state.job)} violated a simulation "
             f"integrity guard (not retried): {exc}"
-        ) from exc
-    raise JobExecutionError(
+        )
+        error.traceback_text = traceback_text
+        raise error from exc
+    error = JobExecutionError(
         f"job {_describe(state.job)} failed after "
         f"{state.attempts + 1} attempt(s): {exc}"
-    ) from exc
+    )
+    error.traceback_text = traceback_text
+    raise error from exc
 
 
 def _run_one_serial(state, policy, metrics, serial_runner, store=None):
@@ -194,7 +219,8 @@ def _run_one_serial(state, policy, metrics, serial_runner, store=None):
         except Exception as exc:
             if (isinstance(exc, GuardViolationError)
                     or state.attempts >= policy.retries):
-                _give_up(state, exc, store, metrics)
+                _give_up(state, exc, store, metrics,
+                         traceback_text=_format_traceback(exc))
             state.attempts += 1
             metrics.retries += 1
             time.sleep(policy.backoff * state.attempts)
@@ -263,7 +289,8 @@ def _run_parallel(states, results, store, policy, metrics, progress,
                 except Exception as exc:
                     if (isinstance(exc, GuardViolationError)
                             or state.attempts >= policy.retries):
-                        _give_up(state, exc, store, metrics)
+                        _give_up(state, exc, store, metrics,
+                                 traceback_text=_format_traceback(exc))
                     state.attempts += 1
                     metrics.retries += 1
                     time.sleep(policy.backoff * state.attempts)

@@ -29,6 +29,7 @@ import json
 import logging
 import os
 import time
+import traceback
 from pathlib import Path
 from typing import Dict, Iterator, Optional
 
@@ -108,7 +109,11 @@ class ResultStore:
         payload = {
             "schema": STORE_SCHEMA_VERSION,
             "key": key,
-            "created": time.time(),
+            # Store *metadata*, outside the simulated clock: created-at
+            # never feeds a result and exists only for cache forensics.
+            # One of the two sanctioned wall-clock reads in src/ (see the
+            # SL101 rule docs in docs/architecture.md section 10).
+            "created": time.time(),  # simlint: disable=SL101
             "spec": spec,
             "result": result.to_dict(),
         }
@@ -126,28 +131,45 @@ class ResultStore:
         return self.root / "failures" / f"{key}.json"
 
     def record_failure(
-        self, key: str, error: Exception, spec: Optional[Dict] = None
+        self,
+        key: str,
+        error: Exception,
+        spec: Optional[Dict] = None,
+        traceback_text: Optional[str] = None,
     ) -> Path:
         """Persist a structured failure record for ``key``.
 
         Used for deterministic failures (guard violations): the result
         slot stays empty — a partial result must never poison the cache
         — but the failure itself, with its diagnostic fields, is kept
-        for inspection.  Returns the path written.
+        for inspection.  ``traceback_text`` (the formatted traceback
+        captured where the exception was caught) rides along so the
+        record pinpoints the raise site, not just the message.  When it
+        is not supplied, whatever traceback the exception still carries
+        is formatted here.  Returns the path written.
         """
         path = self.failure_path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         diagnostics = getattr(error, "diagnostics", None)
+        if traceback_text is None and error.__traceback__ is not None:
+            traceback_text = "".join(
+                traceback.format_exception(
+                    type(error), error, error.__traceback__
+                )
+            )
         payload = {
             "schema": STORE_SCHEMA_VERSION,
             "key": key,
-            "created": time.time(),
+            # Sanctioned wall-clock read: failure-record metadata (see
+            # the SL101 note on the result payload above).
+            "created": time.time(),  # simlint: disable=SL101
             "spec": spec,
             "error": {
                 "type": type(error).__name__,
                 "message": getattr(error, "message", str(error)),
                 "rendered": str(error),
                 "diagnostics": diagnostics() if callable(diagnostics) else {},
+                "traceback": traceback_text,
             },
         }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")

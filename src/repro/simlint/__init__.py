@@ -1,0 +1,57 @@
+"""repro.simlint — determinism & invariant static analysis for the simulator.
+
+The reproduction's contracts — bit-identical event streams between the
+scalar and wave tracers, fast-forward ≡ stepped timing, the SMS
+conservation laws, picklable ``__slots__`` hot-path records — are all
+*runtime*-checkable, which means a violation is only caught when a test
+happens to exercise it.  ``simlint`` rejects whole classes of hazard at
+review time instead: it parses every source file into an AST and runs a
+registry of purpose-built rules over it.
+
+Rule families (see :mod:`repro.simlint.rules`):
+
+``SL1xx`` (determinism)
+    wall-clock reads, unseeded RNG, unordered-collection iteration,
+    object-identity (``id()``) ordering in the timing-critical packages.
+``SL2xx`` (bit-identity)
+    module-level singleton mutation, ``__slots__`` pickle-contract
+    violations, counter writes outside the owning package, and the
+    fast-forward/stepped mutation-surface parity proof.
+``SL3xx`` (diagnostics conventions)
+    raw builtin exceptions where a ``DiagnosticError`` is required,
+    broad ``except`` handlers that swallow without recording.
+``SL4xx`` (hygiene)
+    mutable default arguments, stray ``print()`` in library code.
+
+Findings can be silenced per line (``# simlint: disable=SL101``), per
+file (``# simlint: disable-file=SL103``), or grandfathered through the
+committed baseline file.  Exit codes are stable: 0 clean, 1 findings,
+2 usage/internal error.  Run it as ``repro lint [paths ...]``.
+"""
+
+from repro.simlint.baseline import Baseline, load_baseline, write_baseline
+from repro.simlint.config import LintConfig, load_config
+from repro.simlint.engine import LintReport, lint_paths, lint_source
+from repro.simlint.model import Finding, Severity
+from repro.simlint.registry import RULES, all_rules, get_rule, register
+from repro.simlint import rules as _rules  # noqa: F401  (populates RULES)
+from repro.simlint.reporters import render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "RULES",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "load_config",
+    "register",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]

@@ -1,0 +1,96 @@
+"""The committed baseline: grandfathered findings that do not gate CI.
+
+Every entry keys on ``(path, rule, stripped source line)`` rather than a
+line number, so edits elsewhere in a file do not churn the baseline.
+Duplicate offending lines are handled multiset-style: a baseline entry
+absolves exactly as many findings as were recorded for that key.
+
+The file is JSON (one object, sorted keys) so diffs review cleanly, and
+carries a schema version so a future format change reads as "rebuild the
+baseline", not as silent acceptance of every finding.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ReproError
+from repro.simlint.model import Finding
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+class Baseline:
+    """A multiset of grandfathered finding keys."""
+
+    def __init__(self, entries: Optional[Iterable[Dict]] = None) -> None:
+        self._counts: Counter = Counter(
+            self._key(entry["path"], entry["rule"], entry["text"])
+            for entry in (entries or [])
+        )
+
+    @staticmethod
+    def _key(path: str, rule: str, text: str) -> tuple:
+        return (str(path), str(rule), str(text).strip())
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    def apply(self, findings: List[Finding]) -> int:
+        """Mark baselined findings in place; returns how many matched."""
+        remaining = Counter(self._counts)
+        matched = 0
+        for finding in findings:
+            key = self._key(finding.path, finding.rule, finding.text)
+            if remaining[key] > 0:
+                remaining[key] -= 1
+                finding.baselined = True
+                matched += 1
+        return matched
+
+    def entries(self) -> List[Dict]:
+        """The baseline content in its on-disk shape."""
+        out: List[Dict] = []
+        for (path, rule, text), count in sorted(self._counts.items()):
+            out.extend(
+                {"path": path, "rule": rule, "text": text}
+                for _ in range(count)
+            )
+        return out
+
+
+def load_baseline(path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return Baseline()
+    try:
+        payload = json.loads(path.read_text())
+    except ValueError as error:
+        raise ReproError(f"unreadable simlint baseline {path}: {error}") from None
+    if payload.get("schema") != BASELINE_SCHEMA_VERSION:
+        raise ReproError(
+            f"simlint baseline {path} has schema {payload.get('schema')!r}; "
+            f"expected {BASELINE_SCHEMA_VERSION} — regenerate with "
+            f"`repro lint --write-baseline`"
+        )
+    entries = payload.get("entries", [])
+    if not isinstance(entries, list):
+        raise ReproError(f"simlint baseline {path}: entries must be a list")
+    return Baseline(entries)
+
+
+def write_baseline(path, findings: Iterable[Finding]) -> Baseline:
+    """Persist every finding as grandfathered; returns the new baseline."""
+    baseline = Baseline(
+        {"path": f.path, "rule": f.rule, "text": f.text} for f in findings
+    )
+    payload = {
+        "schema": BASELINE_SCHEMA_VERSION,
+        "entries": baseline.entries(),
+    }
+    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return baseline

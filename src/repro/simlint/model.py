@@ -1,0 +1,52 @@
+"""Finding and severity model shared by the engine, reporters and rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class Severity:
+    """Finding severities; ``ERROR`` findings drive the exit code."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    #: Valid values, for config validation.
+    ALL = (ERROR, WARNING)
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location.
+
+    ``text`` is the stripped source line the finding points at; baseline
+    matching keys on ``(path, rule, text)`` rather than the line number,
+    so unrelated edits above a grandfathered finding do not un-baseline
+    it.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    text: str = ""
+    baselined: bool = field(default=False, compare=False)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-reporter payload for this finding."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "text": self.text,
+            "baselined": self.baselined,
+        }

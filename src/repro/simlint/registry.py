@@ -1,0 +1,93 @@
+"""Pluggable rule registry.
+
+A rule is a class with an ``id`` (``SLxxx``), a default severity, a
+scope, a one-line ``title`` and a ``rationale`` paragraph (both feed the
+rule catalog in ``docs/architecture.md`` and ``repro lint --list-rules``),
+and a ``check(ctx)`` generator yielding findings.  Decorating the class
+with :func:`register` makes it part of every lint run; tests can
+instantiate rules directly against a context instead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Type
+
+from repro.errors import ReproError
+from repro.simlint.model import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simlint.engine import FileContext
+
+
+class Rule:
+    """Base class for simlint rules."""
+
+    #: Rule identifier, e.g. ``"SL101"``.
+    id: str = ""
+    #: One-line summary for catalogs and reporters.
+    title: str = ""
+    #: Rule family: determinism / bit-identity / diagnostics / hygiene.
+    category: str = ""
+    #: Why this rule exists, in terms of the simulator's contracts.
+    rationale: str = ""
+    #: Default severity; pyproject ``[tool.simlint.severity]`` overrides.
+    severity: str = Severity.ERROR
+    #: Where the rule applies: ``"timing"`` (the timing-critical
+    #: packages), ``"repro"`` (anywhere under the ``repro`` package), or
+    #: ``"all"`` (every linted file, tests included).
+    scope: str = "repro"
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def applies_to(self, ctx: "FileContext") -> bool:
+        """Scope filter: does this rule run against ``ctx`` at all?"""
+        if self.scope == "all":
+            return True
+        if ctx.module is None:
+            return False
+        if self.scope == "timing":
+            return any(
+                ctx.module == pkg or ctx.module.startswith(pkg + ".")
+                for pkg in ctx.config.timing_critical
+            )
+        return True  # "repro": any module under the package
+
+
+#: The global rule registry, keyed by rule id.
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and add a rule to the registry."""
+    rule = cls()
+    if not rule.id or not rule.title or not rule.rationale:
+        raise ReproError(
+            f"simlint rule {cls.__name__} must define id, title and rationale"
+        )
+    if rule.id in RULES:
+        raise ReproError(f"duplicate simlint rule id {rule.id}")
+    # Import-time setup of the module-own registry singleton.
+    RULES[rule.id] = rule  # simlint: disable=SL201
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in id order."""
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """The registered rule with ``rule_id``; raises on unknown ids."""
+    try:
+        return RULES[rule_id]
+    except KeyError:
+        raise ReproError(f"unknown simlint rule {rule_id!r}") from None
+
+
+def known_ids(ids: Iterable[str]) -> List[str]:
+    """Validate a collection of rule ids, returning them sorted."""
+    unknown = sorted(set(ids) - set(RULES))
+    if unknown:
+        raise ReproError(f"unknown simlint rule id(s): {', '.join(unknown)}")
+    return sorted(set(ids))

@@ -1,0 +1,80 @@
+"""Text and JSON renderers for lint reports.
+
+The JSON shape is a stable contract (CI parses it and the report is
+uploaded as a build artifact):
+
+.. code-block:: json
+
+    {
+      "schema": 1,
+      "tool": "repro.simlint",
+      "exit_code": 1,
+      "summary": {"files": 210, "errors": 1, "warnings": 0,
+                  "baselined": 0, "suppressed": 4, "broken": 0},
+      "findings": [{"rule": "SL101", "severity": "error",
+                    "path": "src/repro/gpu/rt_unit.py", "line": 12,
+                    "col": 9, "message": "...", "text": "...",
+                    "baselined": false}],
+      "broken": []
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.simlint.engine import LintReport
+
+REPORT_SCHEMA_VERSION = 1
+
+
+def render_text(report: LintReport, show_baselined: bool = False) -> str:
+    """Human-oriented rendering: one line per finding plus a summary."""
+    lines: List[str] = []
+    for path, message in report.broken:
+        lines.append(f"{path}: cannot parse ({message})")
+    for finding in report.findings:
+        if finding.baselined and not show_baselined:
+            continue
+        tag = " [baselined]" if finding.baselined else ""
+        lines.append(
+            f"{finding.location()}: {finding.rule} "
+            f"{finding.severity}: {finding.message}{tag}"
+        )
+    lines.append(summary_line(report))
+    return "\n".join(lines)
+
+
+def summary_line(report: LintReport) -> str:
+    counts = (
+        f"{report.files} file(s): {len(report.errors)} error(s), "
+        f"{len(report.warnings)} warning(s), "
+        f"{len(report.baselined)} baselined, {report.suppressed} suppressed"
+    )
+    if report.broken:
+        counts += f", {len(report.broken)} unparseable"
+    return counts
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-oriented rendering; see the module docstring for schema."""
+    payload = {
+        "schema": REPORT_SCHEMA_VERSION,
+        "tool": "repro.simlint",
+        "exit_code": report.exit_code,
+        "summary": {
+            "files": report.files,
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "baselined": len(report.baselined),
+            "suppressed": report.suppressed,
+            "broken": len(report.broken),
+        },
+        "findings": [finding.to_dict() for finding in report.findings],
+        "broken": [
+            {"path": path, "message": message}
+            for path, message in report.broken
+        ],
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)

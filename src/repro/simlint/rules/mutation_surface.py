@@ -1,0 +1,253 @@
+"""SL204 — fast-forward ≡ stepped mutation-surface parity.
+
+PR 3's equivalence tests prove at runtime that the event-driven
+fast-forward drain in ``RTUnit.run`` produces bit-identical counters and
+cycles to the stepped scheduler loop.  That proof is only as good as the
+workloads the tests happen to run; this rule turns it into a static
+obligation on the *write surface*:
+
+    every piece of state the fast-forward branch can write must also be
+    written somewhere on the stepped path.
+
+The check walks the call graph rooted at each branch (methods of the
+same class, locally defined helper functions, and module-level
+functions), collecting normalized "state keys" for attribute stores,
+subscript stores, augmented assignments and in-place mutating method
+calls (``resident.clear()`` and ``resident.remove(...)`` both write
+``resident``).  A key reachable from the fast-forward branch but not
+from the stepped loop is exactly a way the two schedules can diverge
+that no equivalence test will catch until a workload trips it — so it
+is rejected here instead.
+
+The rule fires on any class whose ``run`` method guards a branch on a
+``fast_forward`` attribute, which makes it testable on miniature
+fixtures and automatically covers future RT-unit variants.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.simlint.model import Finding
+from repro.simlint.registry import Rule, register
+from repro.simlint.rules.bitidentity import MUTATING_METHODS
+
+
+@register
+class FastForwardParityRule(Rule):
+    id = "SL204"
+    title = "fast-forward drain writes state the stepped loop does not"
+    severity = "error"
+    scope = "timing"
+    category = "bit-identity"
+    rationale = (
+        "The fast-forward drain skips scheduler arbitration on the "
+        "promise that it is observationally identical to the stepped "
+        "loop.  Any state written only on the fast-forward path is a "
+        "divergence the runtime equivalence tests can miss (they sample "
+        "workloads; this is a property of the code).  Writes must be a "
+        "subset of the stepped path's writes — new fast-forward "
+        "bookkeeping needs a stepped-path counterpart or a redesign."
+    )
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            run = next(
+                (
+                    stmt for stmt in node.body
+                    if isinstance(stmt, ast.FunctionDef) and stmt.name == "run"
+                ),
+                None,
+            )
+            if run is None:
+                continue
+            split = _split_fast_forward(run)
+            if split is None:
+                continue
+            ff_stmts, stepped_stmts, anchor = split
+            graph = _CallGraph(ctx.tree, node, run)
+            ff_writes = graph.reachable_writes(ff_stmts)
+            stepped_writes = graph.reachable_writes(stepped_stmts)
+            outside_reads = _name_reads(run, skip=anchor)
+            for key in sorted(ff_writes - stepped_writes):
+                if "." not in key and key not in outside_reads:
+                    # A bare local the rest of run() never reads is
+                    # branch-private scratch, not shared schedule state.
+                    continue
+                yield ctx.finding(
+                    self, anchor,
+                    f"class {node.name}: fast-forward drain writes "
+                    f"`{key}` but the stepped loop never does — the two "
+                    f"schedules can diverge",
+                )
+
+
+def _split_fast_forward(
+    run: ast.FunctionDef,
+) -> Optional[Tuple[List[ast.stmt], List[ast.stmt], ast.AST]]:
+    """(fast-forward stmts, stepped stmts, anchor) of ``run``, if any.
+
+    The fast-forward branch is the top-level ``if`` inside ``run``'s
+    scheduler loop whose condition mentions a ``fast_forward`` attribute
+    or name; the stepped path is everything else in that loop body plus
+    the branch's ``else``.
+    """
+    for loop in ast.walk(run):
+        if not isinstance(loop, (ast.While, ast.For)):
+            continue
+        for stmt in loop.body:
+            if isinstance(stmt, ast.If) and _mentions_fast_forward(stmt.test):
+                stepped = [s for s in loop.body if s is not stmt]
+                stepped.extend(stmt.orelse)
+                return list(stmt.body), stepped, stmt
+    return None
+
+
+def _name_reads(run: ast.FunctionDef, skip: ast.AST) -> Set[str]:
+    """Names loaded anywhere in ``run`` outside the ``skip`` branch body.
+
+    Used to tell branch-private scratch locals apart from loop-carried
+    state: a name the fast-forward branch writes is only schedule state
+    if some code outside that branch reads it.
+    """
+    reads: Set[str] = set()
+
+    def visit(node: ast.AST) -> None:
+        if node is skip:
+            # Keep the branch condition and else-arm, drop the body.
+            for child in ast.iter_child_nodes(node):
+                if child not in node.body:
+                    visit(child)
+            return
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            reads.add(node.id)
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    visit(run)
+    return reads
+
+
+def _mentions_fast_forward(test: ast.AST) -> bool:
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr == "fast_forward":
+            return True
+        if isinstance(node, ast.Name) and node.id == "fast_forward":
+            return True
+    return False
+
+
+class _CallGraph:
+    """Write-surface collector over a class + module call graph."""
+
+    def __init__(
+        self, tree: ast.Module, cls: ast.ClassDef, run: ast.FunctionDef
+    ) -> None:
+        self._methods: Dict[str, ast.FunctionDef] = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, ast.FunctionDef)
+        }
+        self._module_funcs: Dict[str, ast.FunctionDef] = {
+            stmt.name: stmt
+            for stmt in tree.body
+            if isinstance(stmt, ast.FunctionDef)
+        }
+        # Helper closures defined inside run() (e.g. admit()).
+        self._local_funcs: Dict[str, ast.FunctionDef] = {
+            node.name: node
+            for node in ast.walk(run)
+            if isinstance(node, ast.FunctionDef) and node is not run
+        }
+        self._memo: Dict[str, Set[str]] = {}
+
+    def reachable_writes(self, stmts: List[ast.stmt]) -> Set[str]:
+        """State keys written by ``stmts`` and every callee they reach."""
+        writes: Set[str] = set()
+        visited: Set[str] = set()
+        self._collect(stmts, writes, visited)
+        return writes
+
+    def _collect(
+        self, stmts: List[ast.stmt], writes: Set[str], visited: Set[str]
+    ) -> None:
+        for stmt in stmts:
+            for node in ast.walk(stmt):
+                writes.update(_write_keys(node))
+                callee = self._callee(node)
+                if callee is not None and callee[0] not in visited:
+                    name, fn = callee
+                    visited.add(name)
+                    self._collect(fn.body, writes, visited)
+
+    def _callee(
+        self, node: ast.AST
+    ) -> Optional[Tuple[str, ast.FunctionDef]]:
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and func.attr in self._methods
+        ):
+            return f"self.{func.attr}", self._methods[func.attr]
+        if isinstance(func, ast.Name):
+            if func.id in self._local_funcs:
+                return func.id, self._local_funcs[func.id]
+            if func.id in self._module_funcs:
+                return func.id, self._module_funcs[func.id]
+        return None
+
+
+def _write_keys(node: ast.AST) -> List[str]:
+    """Normalized state keys a node writes (empty for non-writes).
+
+    ``warp.ready_time = x`` → ``warp.ready_time``;
+    ``cursors[lane] = c`` → ``cursors``;
+    ``resident.clear()`` / ``resident.remove(x)`` → ``resident``;
+    plain local rebinding (``completion = end``) → the name itself, so
+    loop bookkeeping locals participate in the parity check too.
+    """
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        keys: List[str] = []
+        for target in targets:
+            keys.extend(_target_keys(target))
+        return keys
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in MUTATING_METHODS
+    ):
+        key = _expr_key(node.func.value)
+        return [key] if key is not None else []
+    return []
+
+
+def _target_keys(target: ast.AST) -> List[str]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        keys: List[str] = []
+        for element in target.elts:
+            keys.extend(_target_keys(element))
+        return keys
+    if isinstance(target, ast.Subscript):
+        key = _expr_key(target.value)
+    else:
+        key = _expr_key(target)
+    return [key] if key is not None else []
+
+
+def _expr_key(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _expr_key(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    if isinstance(node, ast.Subscript):
+        return _expr_key(node.value)
+    return None

@@ -512,15 +512,26 @@ class SmsStack(StackModel):
         Raises:
             StackError: on any violation.
         """
-        seen_regions: dict = {}
+        # Identity-matched (region, holder) pairs: SL104 bans id()-keyed
+        # maps in model code, and `is`-search over <= warp_size regions
+        # is plenty for a diagnostic path.
+        seen_regions: list = []
+
+        def holder_of(region):
+            for held, holder in seen_regions:
+                if held is region:
+                    return holder
+            return None
+
         for lane in range(self.warp_size):
             for region in self._chain[lane]:
-                if id(region) in seen_regions:
+                previous = holder_of(region)
+                if previous is not None:
                     raise StackError(
                         f"region of lane {region.owner} appears in chains of "
-                        f"lanes {seen_regions[id(region)]} and {lane}"
+                        f"lanes {previous} and {lane}"
                     )
-                seen_regions[id(region)] = lane
+                seen_regions.append((region, lane))
                 if self._borrowed_by[region.owner] != lane:
                     raise StackError(
                         f"region of lane {region.owner} is in lane {lane}'s "
@@ -529,12 +540,13 @@ class SmsStack(StackModel):
                     )
         for lane in range(self.warp_size):
             holder = self._borrowed_by[lane]
+            in_chain = holder_of(self._own[lane]) is not None
             if holder is None:
-                if id(self._own[lane]) in seen_regions:
+                if in_chain:
                     raise StackError(
                         f"lane {lane}'s region marked free but is in a chain"
                     )
-            elif id(self._own[lane]) not in seen_regions:
+            elif not in_chain:
                 raise StackError(
                     f"lane {lane}'s region marked held by {holder} "
                     f"but is in no chain"

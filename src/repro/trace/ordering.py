@@ -53,6 +53,9 @@ def reorder_wave_tiled(
     ordered: List[RayTrace] = []
     for pixel in tiled_pixel_order(width, height, tile_w, tile_h):
         ordered.extend(by_pixel.pop(pixel, ()))
+    # Out-of-image leftovers append in first-seen (insertion) order — a
+    # documented part of this function's contract, not hash order.
+    # simlint: disable=SL103
     for leftovers in by_pixel.values():
         ordered.extend(leftovers)
     return ordered

@@ -248,6 +248,10 @@ class Tracer:
                     else:
                         bucket.append(i)
                 next_active: List[int] = []
+                # Insertion-ordered by construction: groups is keyed in
+                # first-visit order of the (list-ordered) active rays, and
+                # that order is part of the wave≡scalar byte-identity
+                # contract.  # simlint: disable=SL103
                 for node, members in groups.items():
                     leaf = node_is_leaf[node]
                     if leaf:

@@ -107,7 +107,22 @@ def test_snapshot_survives_corrupted_model():
             watchdog.observe(
                 warp, slot=0, start=step, end=step + 1, stack=BrokenStack()
             )
-    assert excinfo.value.stack_snapshots[0]["depth"] is None
+    snapshot = excinfo.value.stack_snapshots[0]
+    assert snapshot["depth"] is None
+    # The corruption is evidence too: the masked exception rides on the
+    # stall report instead of vanishing into the broad handler.
+    assert snapshot["snapshot_error"] == "RuntimeError: model is toast"
+
+
+def test_healthy_snapshot_has_no_error_field():
+    watchdog = ProgressWatchdog(sm_id=0, stall_window=1)
+    warp = make_warp(lanes=1)
+    stack = SmsStack(rb_entries=4, sh_entries=4, warp_size=1)
+    with pytest.raises(SimulationStallError) as excinfo:
+        for step in range(5):
+            watchdog.observe(warp, slot=0, start=step, end=step + 1,
+                             stack=stack)
+    assert "snapshot_error" not in excinfo.value.stack_snapshots[0]
 
 
 def test_interleaved_progress_defers_then_stall_fires():

@@ -167,3 +167,58 @@ def test_serial_runner_override(tmp_path):
                       serial_runner=runner)
     assert report.results == ["local:x", "local:y"]
     assert seen == ["x", "y"]
+
+
+# -- traceback capture on terminal failures -------------------------------
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_exhausted_retries_attach_traceback(tmp_path, workers):
+    """The JobExecutionError surfaces the raise site — including the
+    remote traceback when the final attempt died inside a pool worker."""
+    jobs = [stub("tbdoomed", tmp_path, fail_first=10)]
+    with pytest.raises(JobExecutionError) as excinfo:
+        run_jobs(jobs, policy=ExecutionPolicy(workers=workers, retries=1,
+                                              **FAST))
+    rendered = excinfo.value.traceback_text
+    assert "RuntimeError" in rendered
+    assert "injected failure" in rendered
+
+
+@dataclass(frozen=True)
+class GuardTripJob:
+    """Deterministically violates an integrity guard (module-level, so
+    it pickles)."""
+
+    token: str
+
+    def key(self) -> str:
+        return hashlib.sha256(f"guard:{self.token}".encode()).hexdigest()
+
+    def describe(self) -> str:
+        return f"guardtrip:{self.token}"
+
+    def spec(self):
+        return {"token": self.token}
+
+    def run(self):
+        from repro.errors import InvariantViolationError
+
+        raise InvariantViolationError(
+            "LIFO violated", cycle=7, sm_id=0, warp_id=1, lane=2,
+            component="stack[slot=0]",
+        )
+
+
+def test_guard_violation_failure_record_carries_traceback(tmp_path):
+    from repro.runtime.store import ResultStore
+
+    store = ResultStore(tmp_path / "store")
+    job = GuardTripJob("g1")
+    with pytest.raises(JobExecutionError, match="integrity guard") as excinfo:
+        run_jobs([job], store=store,
+                 policy=ExecutionPolicy(workers=1, **FAST))
+    assert "InvariantViolationError" in excinfo.value.traceback_text
+    payload = store.failure_for(job.key())
+    rendered = payload["error"]["traceback"]
+    assert "InvariantViolationError" in rendered
+    assert "in run" in rendered  # pinpoints the raise site, not the wrapper

@@ -123,3 +123,48 @@ def test_spec_recorded_for_debugging(store, job_and_result):
     payload = json.loads(path.read_text())
     assert payload["spec"]["scene"] == "SHIP"
     assert payload["key"] == job.key()
+
+
+# -- failure-record tracebacks (the evidence trail for give-ups) ----------
+
+def raise_violation():
+    raise InvariantViolationError(
+        "LIFO violated", cycle=31, sm_id=0, warp_id=1, lane=2,
+        component="stack[slot=0]",
+    )
+
+
+def test_record_failure_formats_live_traceback(store):
+    """With no explicit text, whatever traceback the exception still
+    carries is formatted into the record — naming the raise site."""
+    key = "a" * 64
+    try:
+        raise_violation()
+    except InvariantViolationError as error:
+        store.record_failure(key, error)
+    rendered = store.failure_for(key)["error"]["traceback"]
+    assert "InvariantViolationError" in rendered
+    assert "raise_violation" in rendered  # the actual raise site
+
+
+def test_record_failure_explicit_traceback_wins(store):
+    """A caller-captured traceback (e.g. from a pool worker) passes
+    through verbatim instead of being re-formatted locally."""
+    key = "b" * 64
+    error = InvariantViolationError(
+        "LIFO violated", cycle=1, sm_id=0, warp_id=0, lane=0,
+        component="stack[slot=0]",
+    )
+    store.record_failure(key, error, traceback_text="<worker traceback>")
+    assert store.failure_for(key)["error"]["traceback"] == "<worker traceback>"
+
+
+def test_record_failure_without_traceback_is_none(store):
+    """An exception that was never raised has no traceback to record."""
+    key = "c" * 64
+    error = InvariantViolationError(
+        "LIFO violated", cycle=1, sm_id=0, warp_id=0, lane=0,
+        component="stack[slot=0]",
+    )
+    store.record_failure(key, error)
+    assert store.failure_for(key)["error"]["traceback"] is None

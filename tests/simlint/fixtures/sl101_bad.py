@@ -1,0 +1,11 @@
+"""SL101 positive: wall-clock and host-clock reads in timing code."""
+
+import time
+from datetime import datetime
+
+
+def stamp_cycle(record):
+    started = time.time()
+    tagged = datetime.now()
+    time.sleep(0.01)
+    return record, started, tagged

@@ -1,0 +1,13 @@
+"""SL101 negative: only the simulated clock, plus a sanctioned read."""
+
+import time
+
+
+def advance(state, cycles):
+    state.now += cycles
+    return state.now
+
+
+def metadata():
+    # Sanctioned: metadata outside the simulated clock.
+    return {"created": time.time()}  # simlint: disable=SL101

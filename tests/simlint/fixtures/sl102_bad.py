@@ -1,0 +1,11 @@
+"""SL102 positive: process-global and unseeded RNG."""
+
+import random
+
+import numpy as np
+
+
+def jitter(values):
+    rng = np.random.default_rng()
+    random.shuffle(values)
+    return values[0] + random.random() + rng.standard_normal()

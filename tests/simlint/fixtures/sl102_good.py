@@ -1,0 +1,12 @@
+"""SL102 negative: explicitly seeded generators passed down."""
+
+import random
+
+import numpy as np
+
+
+def jitter(values, seed):
+    rng = np.random.default_rng(seed)
+    local = random.Random(seed)
+    local.shuffle(values)
+    return values[0] + rng.standard_normal()

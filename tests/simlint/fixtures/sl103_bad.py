@@ -1,0 +1,11 @@
+"""SL103 positive: set and dict-view iteration feeding ordered code."""
+
+
+def emit_events(warps, pending):
+    events = []
+    for warp in set(warps):
+        events.append(warp.warp_id)
+    for op in pending.values():
+        events.append(op)
+    lanes = [lane for lane in {1, 2, 3}]
+    return events, lanes

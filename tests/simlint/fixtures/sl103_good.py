@@ -1,0 +1,10 @@
+"""SL103 negative: sorted iteration and commutative reductions."""
+
+
+def emit_events(warps, pending):
+    events = []
+    for warp in sorted(set(warps), key=lambda w: w.warp_id):
+        events.append(warp.warp_id)
+    total = sum(op.cycles for op in pending.values())
+    deepest = max({1, 2, 3})
+    return events, total, deepest

@@ -1,0 +1,11 @@
+"""SL104 positive: id()-keyed bookkeeping of model objects."""
+
+
+def dedupe_regions(chains):
+    seen = {}
+    for lane, chain in enumerate(chains):
+        for region in chain:
+            if id(region) in seen:
+                return seen[id(region)]
+            seen[id(region)] = lane
+    return None

@@ -1,0 +1,12 @@
+"""SL104 negative: identity search and stable-field ordering."""
+
+
+def dedupe_regions(chains):
+    seen = []
+    for lane, chain in enumerate(chains):
+        for region in chain:
+            for held, holder in seen:
+                if held is region:
+                    return holder
+            seen.append((region, lane))
+    return None

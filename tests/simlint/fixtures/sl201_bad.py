@@ -1,0 +1,11 @@
+"""SL201 positive: in-place mutation of module-level singletons."""
+
+from repro.stack.ops import EMPTY_ACTIVITY
+
+LANE_TABLE = {}
+
+
+def patch_defaults(extra):
+    EMPTY_ACTIVITY.extra_cycles = 1
+    EMPTY_ACTIVITY.ops.append(extra)
+    LANE_TABLE["warp"] = extra

@@ -1,0 +1,10 @@
+"""SL201 negative: copy instead of patch; locals may mutate freely."""
+
+from repro.stack.ops import EMPTY_ACTIVITY
+
+
+def widened(extra):
+    activity = type(EMPTY_ACTIVITY)(ops=[extra], extra_cycles=1)
+    table = {}
+    table["warp"] = extra
+    return activity, table

@@ -1,0 +1,11 @@
+"""SL202 positive: computed __slots__ and a __dict__ backdoor."""
+
+FIELDS = ("a", "b")
+
+
+class ComputedSlots:
+    __slots__ = tuple(FIELDS)
+
+
+class DictBackdoor:
+    __slots__ = ("a", "__dict__")

@@ -1,0 +1,10 @@
+"""SL202 negative: literal, enumerable __slots__."""
+
+
+class Step:
+    __slots__ = ("address", "size_bytes", "tests")
+
+    def __init__(self, address, size_bytes, tests):
+        self.address = address
+        self.size_bytes = size_bytes
+        self.tests = tests

@@ -1,0 +1,7 @@
+"""SL203 positive: counter writes from a non-owning component."""
+
+
+def reconcile(result, counters):
+    counters.instructions += 10
+    result.counters.cycles = 0
+    return result

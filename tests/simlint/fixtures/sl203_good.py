@@ -1,0 +1,6 @@
+"""SL203 negative: reading counters is fine anywhere."""
+
+
+def summarize(counters):
+    total = counters.instructions + counters.warp_steps
+    return {"total": total, "cycles": counters.cycles}

@@ -1,0 +1,30 @@
+"""SL204 positive: the fast-forward drain writes state the stepped
+loop never touches (both an attribute and a loop-carried local)."""
+
+
+class MiniUnit:
+    def __init__(self):
+        self.fast_forward = True
+        self.drained = 0
+
+    def run(self, warps):
+        pending = list(warps)
+        completion = 0
+        bonus = 0
+        while pending:
+            if self.fast_forward and len(pending) == 1:
+                warp = pending[0]
+                end = self._step(warp, completion)
+                self.drained += 1
+                bonus = end
+                completion = max(completion, end)
+                pending.clear()
+                continue
+            warp = pending.pop(0)
+            end = self._step(warp, completion)
+            completion = max(completion, end)
+        return completion + bonus
+
+    def _step(self, warp, start):
+        warp.ready_time = start + 1
+        return warp.ready_time

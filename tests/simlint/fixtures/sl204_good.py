@@ -1,0 +1,29 @@
+"""SL204 negative: fast-forward writes are a subset of stepped writes;
+branch-private scratch locals are allowed."""
+
+
+class MiniUnit:
+    def __init__(self):
+        self.fast_forward = True
+        self.retired = 0
+
+    def run(self, warps):
+        pending = list(warps)
+        completion = 0
+        while pending:
+            if self.fast_forward and len(pending) == 1:
+                warp = pending[0]  # branch-private scratch binding
+                end = self._step(warp, completion)
+                self.retired += 1
+                completion = max(completion, end)
+                pending.clear()
+                continue
+            chosen = pending.pop(0)
+            end = self._step(chosen, completion)
+            self.retired += 1
+            completion = max(completion, end)
+        return completion
+
+    def _step(self, warp, start):
+        warp.ready_time = start + 1
+        return warp.ready_time

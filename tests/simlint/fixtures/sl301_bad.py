@@ -1,0 +1,9 @@
+"""SL301 positive: raw builtin exceptions from timing-critical code."""
+
+
+def pop_frame(stack, lane):
+    if not stack:
+        raise ValueError("stack underflow")
+    if lane < 0:
+        raise Exception("bad lane")
+    return stack.pop()

@@ -1,0 +1,9 @@
+"""SL301 negative: DiagnosticError subclasses carry coordinates."""
+
+from repro.errors import StackUnderflowError
+
+
+def pop_frame(stack, lane, cycle):
+    if not stack:
+        raise StackUnderflowError(cycle=cycle, lane=lane)
+    return stack.pop()

@@ -1,0 +1,16 @@
+"""SL302 negative: broad handlers that record or re-raise."""
+
+
+def load_with_record(path, report):
+    try:
+        return open(path).read()
+    except Exception as masked:
+        report["load_error"] = f"{type(masked).__name__}: {masked}"
+        return None
+
+
+def load_and_reraise(path):
+    try:
+        return open(path).read()
+    except Exception:
+        raise

@@ -1,0 +1,11 @@
+"""SL401 positive: mutable defaults shared across calls."""
+
+
+def collect(value, bucket=[]):
+    bucket.append(value)
+    return bucket
+
+
+def tally(key, *, counts=dict()):
+    counts[key] = counts.get(key, 0) + 1
+    return counts

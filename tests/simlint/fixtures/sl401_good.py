@@ -1,0 +1,12 @@
+"""SL401 negative: None sentinel, fresh object per call."""
+
+
+def collect(value, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(value)
+    return bucket
+
+
+def scale(value, factor=2, label=""):
+    return value * factor, label

@@ -1,0 +1,6 @@
+"""SL402 positive: print() from library code."""
+
+
+def report_progress(done, total):
+    print(f"{done}/{total} jobs complete")
+    return done == total

@@ -1,0 +1,10 @@
+"""SL402 negative: return the text; let the CLI layer present it."""
+
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def report_progress(done, total):
+    log.info("%d/%d jobs complete", done, total)
+    return f"{done}/{total} jobs complete"

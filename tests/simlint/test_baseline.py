@@ -1,0 +1,81 @@
+"""Baseline tests: multiset semantics, round-trip, schema guard."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.simlint import load_baseline, write_baseline
+from repro.simlint.baseline import Baseline
+from repro.simlint.model import Finding
+
+
+def finding(line=3, text='print("x")'):
+    return Finding(rule="SL402", severity="error", path="repro/a.py",
+                   line=line, col=1, message="print() in library code",
+                   text=text)
+
+
+def test_apply_marks_matching_findings():
+    baseline = Baseline([
+        {"path": "repro/a.py", "rule": "SL402", "text": 'print("x")'},
+    ])
+    findings = [finding(line=3), finding(line=9, text="other()")]
+    assert baseline.apply(findings) == 1
+    assert findings[0].baselined and not findings[1].baselined
+
+
+def test_apply_is_line_number_insensitive():
+    """Entries key on the source text, so drift does not churn CI."""
+    baseline = Baseline([
+        {"path": "repro/a.py", "rule": "SL402", "text": 'print("x")'},
+    ])
+    moved = [finding(line=712)]
+    assert baseline.apply(moved) == 1
+
+
+def test_multiset_absolves_exactly_recorded_count():
+    baseline = Baseline([
+        {"path": "repro/a.py", "rule": "SL402", "text": 'print("x")'},
+    ])
+    dupes = [finding(line=3), finding(line=4)]  # same offending text twice
+    assert baseline.apply(dupes) == 1
+    assert [f.baselined for f in dupes] == [True, False]
+
+
+def test_write_then_load_roundtrip(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [finding()])
+    loaded = load_baseline(path)
+    assert len(loaded) == 1
+    findings = [finding(line=50)]
+    assert loaded.apply(findings) == 1
+
+
+def test_missing_file_is_empty_baseline(tmp_path):
+    baseline = load_baseline(tmp_path / "absent.json")
+    assert len(baseline) == 0
+    findings = [finding()]
+    assert baseline.apply(findings) == 0
+    assert not findings[0].baselined
+
+
+def test_schema_mismatch_is_an_error_not_acceptance(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"schema": 99, "entries": []}))
+    with pytest.raises(ReproError, match="schema"):
+        load_baseline(path)
+
+
+def test_unreadable_json_is_an_error(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("{not json")
+    with pytest.raises(ReproError, match="unreadable"):
+        load_baseline(path)
+
+
+def test_entries_shape_is_validated(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"schema": 1, "entries": {"a": 1}}))
+    with pytest.raises(ReproError, match="entries"):
+        load_baseline(path)

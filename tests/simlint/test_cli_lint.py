@@ -1,0 +1,104 @@
+"""CLI tests for ``repro lint`` (driving main() directly)."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def make_dirty_tree(tmp_path):
+    """A lintable tree with exactly one SL402 violation."""
+    tree = tmp_path / "repro"
+    tree.mkdir()
+    (tree / "mod.py").write_text('print("x")\n')
+    return tmp_path
+
+
+def lint(*argv):
+    return main(["lint", *argv])
+
+
+def test_list_rules_prints_catalog(capsys):
+    assert lint("--list-rules") == 0
+    out = capsys.readouterr().out
+    for rule_id in ("SL101", "SL102", "SL103", "SL104", "SL201", "SL202",
+                    "SL203", "SL204", "SL301", "SL302", "SL401", "SL402"):
+        assert rule_id in out
+
+
+def test_violation_exits_1_text(tmp_path, capsys):
+    code = lint(str(make_dirty_tree(tmp_path)), "--no-baseline")
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "SL402 error:" in out and "1 error(s)" in out
+
+
+def test_clean_tree_exits_0(tmp_path, capsys):
+    tree = tmp_path / "repro"
+    tree.mkdir()
+    (tree / "mod.py").write_text("x = 1\n")
+    assert lint(str(tmp_path), "--no-baseline") == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_json_format_and_out_file(tmp_path, capsys):
+    out_path = tmp_path / "report.json"
+    code = lint(str(make_dirty_tree(tmp_path)), "--no-baseline",
+                "--format", "json", "--out", str(out_path))
+    assert code == 1
+    stdout_payload = json.loads(capsys.readouterr().out)
+    file_payload = json.loads(out_path.read_text())
+    assert stdout_payload == file_payload
+    assert file_payload["exit_code"] == 1
+    assert file_payload["findings"][0]["rule"] == "SL402"
+
+
+def test_write_baseline_then_clean(tmp_path, capsys):
+    tree = make_dirty_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert lint(str(tree), "--baseline", str(baseline),
+                "--write-baseline") == 0
+    assert "baselined 1 finding(s)" in capsys.readouterr().out
+    # The grandfathered finding no longer gates...
+    assert lint(str(tree), "--baseline", str(baseline)) == 0
+    capsys.readouterr()
+    # ...but a fresh violation alongside it still does.
+    (tree / "repro" / "new.py").write_text('print("y")\n')
+    assert lint(str(tree), "--baseline", str(baseline)) == 1
+    out = capsys.readouterr().out
+    assert "new.py" in out and "mod.py" not in out
+
+
+def test_show_baselined_flag(tmp_path, capsys):
+    tree = make_dirty_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    lint(str(tree), "--baseline", str(baseline), "--write-baseline")
+    capsys.readouterr()
+    assert lint(str(tree), "--baseline", str(baseline),
+                "--show-baselined") == 0
+    assert "[baselined]" in capsys.readouterr().out
+
+
+def test_broken_file_exits_2(tmp_path, capsys):
+    tree = tmp_path / "repro"
+    tree.mkdir()
+    (tree / "broken.py").write_text("def oops(:\n")
+    assert lint(str(tmp_path), "--no-baseline") == 2
+    assert "cannot parse" in capsys.readouterr().out
+
+
+def test_missing_target_exits_2(capsys):
+    assert lint("no/such/tree", "--no-baseline") == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_config_flag_applies_repo_config(tmp_path, capsys):
+    """--config pointing at the repo pyproject excludes rule fixtures."""
+    tree = tmp_path / "repro" / "tests" / "simlint" / "fixtures"
+    tree.mkdir(parents=True)
+    (tree / "sl_bad.py").write_text('print("x")\n')
+    config = str(REPO_ROOT / "pyproject.toml")
+    assert lint(str(tmp_path), "--config", config, "--no-baseline") == 0
+    assert "0 file(s)" in capsys.readouterr().out
