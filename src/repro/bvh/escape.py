@@ -1,0 +1,100 @@
+"""Escape-link (skip-pointer) index over a wide BVH.
+
+Stackless traversal replaces the traversal stack with two precomputed
+links per node (Smits-style ropes; see Prokopenko & Lebrun-Grandie,
+arXiv 2402.00665):
+
+* ``first_child[n]`` — the node entered when the ray hits ``n``'s bounds
+  and ``n`` is internal;
+* ``escape[n]`` — the node entered when the ray misses ``n``'s bounds
+  (or finishes ``n``'s primitives): the next unvisited sibling in
+  depth-first order, inherited from the parent when ``n`` is its last
+  child.  ``NO_NODE`` for the root and the last node of the DFS.
+
+Following ``first_child`` on hit and ``escape`` otherwise enumerates
+exactly the depth-first order a stack-based traversal would visit with
+static (slot-order) child ordering — no state beyond the current node
+index, so zero stack occupancy and zero spill traffic.
+
+Built lazily via :meth:`~repro.bvh.wide.WideBVH.escape` and cached like
+the SoA mirror; both caches invalidate together through
+:meth:`~repro.bvh.wide.WideBVH.invalidate_derived` when the layout pass
+reassigns addresses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.bvh.wide import WideBVH
+
+#: Sentinel link target: traversal terminates.
+NO_NODE = -1
+
+
+class EscapeIndex:
+    """Skip-pointer arrays over one :class:`~repro.bvh.wide.WideBVH`.
+
+    Holds no mutable traversal state, so one instance is safely shared
+    by every ray (same contract as :class:`~repro.bvh.soa.BVHSoA`).
+    ``node_lo``/``node_hi`` mirror each node's *own* bounds as ``(n, 3)``
+    arrays — stackless traversal tests one box per visit (the node
+    itself) instead of the parent testing all children.
+    """
+
+    __slots__ = ("first_child", "escape", "node_lo", "node_hi")
+
+    def __init__(self, bvh: "WideBVH") -> None:
+        nodes = bvh.nodes
+        count = len(nodes)
+        first_child: List[int] = [NO_NODE] * count
+        escape: List[int] = [NO_NODE] * count
+        # Depth-first walk; a node's own escape link is final before its
+        # children are visited, so each child's link can inherit it.
+        stack = [bvh.root]
+        while stack:
+            index = stack.pop()
+            children = nodes[index].children
+            if not children:
+                continue
+            first_child[index] = children[0]
+            for pos, child in enumerate(children):
+                escape[child] = (
+                    children[pos + 1] if pos + 1 < len(children)
+                    else escape[index]
+                )
+            # Reversed push so children come out in slot order, matching
+            # the layout pass's depth-first address assignment.
+            for child in reversed(children):
+                stack.append(child)
+        self.first_child = first_child
+        self.escape = escape
+        if count:
+            self.node_lo = np.ascontiguousarray(
+                np.stack([node.bounds.lo for node in nodes])
+            )
+            self.node_hi = np.ascontiguousarray(
+                np.stack([node.bounds.hi for node in nodes])
+            )
+        else:
+            self.node_lo = np.zeros((0, 3))
+            self.node_hi = np.zeros((0, 3))
+
+    def dfs_order(self, root: int) -> List[int]:
+        """Every node index reachable from ``root``, in link order.
+
+        Follows ``first_child`` unconditionally (the always-hit walk);
+        diagnostic/test use.
+        """
+        order: List[int] = []
+        current = root
+        while current != NO_NODE:
+            order.append(current)
+            nxt = self.first_child[current]
+            if nxt == NO_NODE:
+                nxt = self.escape[current]
+            current = nxt
+        return order

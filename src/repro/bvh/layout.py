@@ -58,7 +58,7 @@ def assign_addresses(wide: WideBVH, base_address: int = BVH_BASE_ADDRESS) -> Mem
     """
     cursor = base_address
     wide.address_to_node.clear()
-    wide._soa = None  # addresses are baked into the SoA mirror
+    wide.invalidate_derived()  # SoA mirror and escape index both embed layout
 
     stack = [wide.root]
     while stack:

@@ -40,11 +40,34 @@ class WideBVH:
     address_to_node: Dict[int, int] = field(default_factory=dict)
     total_bytes: int = 0
     _soa: object = field(default=None, repr=False, compare=False)
+    _escape: object = field(default=None, repr=False, compare=False)
+
+    #: Cache slots of lazily built derived structures; every slot listed
+    #: here is cleared together by :meth:`invalidate_derived`.
+    _DERIVED_SLOTS = ("_soa", "_escape")
 
     @property
     def node_count(self) -> int:
         """Total number of wide nodes."""
         return len(self.nodes)
+
+    def _derived(self, slot: str, build):
+        """Shared build-once logic for every derived-structure cache."""
+        value = getattr(self, slot)
+        if value is None:
+            value = build(self)
+            setattr(self, slot, value)
+        return value
+
+    def invalidate_derived(self) -> None:
+        """Drop every cached derived structure.
+
+        The layout pass calls this when it reassigns node addresses —
+        addresses are baked into the SoA mirror, and the escape index's
+        DFS link order mirrors the address assignment walk.
+        """
+        for slot in self._DERIVED_SLOTS:
+            setattr(self, slot, None)
 
     def soa(self):
         """The flat structure-of-arrays mirror (built once, cached).
@@ -52,11 +75,18 @@ class WideBVH:
         Must be requested after layout assigns node addresses; the tracer
         does so via its constructor.
         """
-        if self._soa is None:
-            from repro.bvh.soa import BVHSoA
+        from repro.bvh.soa import BVHSoA
 
-            self._soa = BVHSoA(self)
-        return self._soa
+        return self._derived("_soa", BVHSoA)
+
+    def escape(self):
+        """The escape-link index for stackless traversal (built once, cached).
+
+        Same caching and invalidation contract as :meth:`soa`.
+        """
+        from repro.bvh.escape import EscapeIndex
+
+        return self._derived("_escape", EscapeIndex)
 
     def node_at_address(self, address: int) -> WideNode:
         """Resolve a global-memory address back to its node."""

@@ -7,7 +7,9 @@ Installed as ``python -m repro``.  Commands:
 ``simulate``
     Trace one scene and time it under one configuration.
 ``compare``
-    Trace one scene once and time it under several configurations.
+    Trace one scene once and time it under several configurations; or,
+    with ``--strategies``, run the traversal-strategy head-to-head
+    engine across the whole workload suite.
 ``experiment``
     Regenerate one paper table/figure (or ``all``).  Sweeps run on a
     worker-process pool (``--jobs``) and are served from the persistent
@@ -57,13 +59,34 @@ def build_parser() -> argparse.ArgumentParser:
                      help="configuration label, e.g. RB_8 or RB_8+SH_8+SK+RA")
     _add_guard_args(sim)
 
-    cmp_cmd = sub.add_parser("compare", help="compare configurations on one scene")
+    cmp_cmd = sub.add_parser(
+        "compare",
+        help="compare configurations on one scene, or traversal "
+        "strategies across the workload suite (--strategies)",
+    )
     _add_workload_args(cmp_cmd)
     cmp_cmd.add_argument(
         "--configs",
         default="RB_8,RB_8+SH_8,RB_8+SH_8+SK+RA,RB_FULL",
         help="comma-separated configuration labels",
     )
+    cmp_cmd.add_argument(
+        "--strategies",
+        default="",
+        help="comma-separated traversal strategies (e.g. "
+        "sms,stackless,reorder); selects the suite-wide head-to-head "
+        "engine — --scene/--width/... are ignored in this mode",
+    )
+    cmp_cmd.add_argument(
+        "--base-config", default="RB_8+SH_8+SK+RA",
+        help="base configuration each strategy adapts (strategy mode)",
+    )
+    cmp_cmd.add_argument("--scale", type=float, default=1.0,
+                         help="workload resolution scale (strategy mode)")
+    cmp_cmd.add_argument("--suite-scenes", default="",
+                         help="comma-separated scene subset for the "
+                         "strategy engine (default: full suite)")
+    _add_runtime_args(cmp_cmd)
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", help="experiment id (table1, fig13, ...) or 'all'")
@@ -230,6 +253,8 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    if args.strategies.strip():
+        return _cmd_compare_strategies(args)
     scene, workload = _trace(args)
     labels = [label.strip() for label in args.configs.split(",") if label.strip()]
     results = [
@@ -243,6 +268,38 @@ def _cmd_compare(args) -> int:
             f"{result.label:<20} {result.ipc:>8.4f} "
             f"{result.ipc / base.ipc:>10.3f} {result.offchip_accesses:>9}"
         )
+    return 0
+
+
+def _cmd_compare_strategies(args) -> int:
+    """The suite-wide strategy head-to-head (``compare --strategies``)."""
+    from repro.experiments import compare_strategies
+    from repro.runtime.cache import runtime_cache
+    from repro.workloads.params import DEFAULT_PARAMS
+
+    strategies = [s.strip() for s in args.strategies.split(",") if s.strip()]
+    params = (
+        DEFAULT_PARAMS if args.scale == 1.0 else DEFAULT_PARAMS.scaled(args.scale)
+    )
+    scene_names = (
+        [s.strip() for s in args.suite_scenes.split(",") if s.strip()] or None
+    )
+    cache = runtime_cache(
+        params=params,
+        scene_names=scene_names,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        progress=args.progress,
+    )
+    result = compare_strategies.run(
+        cache,
+        strategies=strategies,
+        base_config=named_config(args.base_config),
+    )
+    print(compare_strategies.render(result))
+    if cache.metrics.jobs_total:
+        print(f"[repro] {cache.metrics.summary()}", file=sys.stderr)
     return 0
 
 

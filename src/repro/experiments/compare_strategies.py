@@ -1,0 +1,178 @@
+"""Head-to-head traversal-strategy comparison across the workload suite.
+
+The comparison the subsystem exists for: run any subset of registered
+traversal strategies (:mod:`repro.traversal`) over the Table II scenes
+from one base configuration and tabulate, per scene and aggregated, the
+quantities the paper argues about — IPC, stack/spill traffic, L1D and
+DRAM bytes, and memory-system energy.  Each strategy adapts the base
+configuration its own way (stackless returns the SH carve-out to the
+L1D; baseline strips the SMS knobs), so the table compares *architectures*
+at equal SRAM budget, not just stack parameters.
+
+Runs through :mod:`repro.runtime` when given a runtime-backed cache:
+every (scene, strategy) cell is one content-addressed
+:class:`~repro.runtime.job.SimulationJob` (strategy folded into the
+key), so sweeps parallelize and repeat runs are store hits.  With a
+plain :class:`~repro.experiments.common.WorkloadCache` (or ``None``)
+the jobs run serially in-process.
+
+CLI: ``repro compare --strategies sms,stackless,reorder``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.results import SimulationResult
+from repro.experiments.common import WorkloadCache, geomean
+from repro.experiments.report import format_table
+from repro.gpu.config import GPUConfig
+from repro.gpu.energy import estimate_energy
+from repro.runtime.job import SimulationJob
+from repro.traversal import resolve_strategy
+
+#: The default head-to-head: the paper's architecture vs the two
+#: alternatives the subsystem adds.
+DEFAULT_STRATEGIES = ("sms", "stackless", "reorder")
+
+
+@dataclass
+class StrategyComparison:
+    """Per-scene results of one strategy sweep."""
+
+    strategies: List[str]
+    base_label: str
+    #: scene -> strategy name -> result.
+    per_scene: Dict[str, Dict[str, SimulationResult]]
+
+
+def _metrics(result: SimulationResult) -> Dict[str, float]:
+    """The table row for one (scene, strategy) cell."""
+    counters = result.counters
+    line_bytes = result.config.line_bytes
+    energy = estimate_energy(counters, num_sms=result.config.num_sms)
+    return {
+        "ipc": result.ipc,
+        "cycles": float(result.cycles),
+        "stack_global": float(counters.stack_global_ops),
+        "stack_shared": float(counters.stack_shared_ops),
+        "l1d_kb": counters.l1_accesses * line_bytes / 1024.0,
+        "dram_kb": counters.offchip_accesses * line_bytes / 1024.0,
+        "energy_uj": energy.total_nj / 1e3,
+    }
+
+
+def run(
+    cache: Optional[WorkloadCache] = None,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    base_config: Optional[GPUConfig] = None,
+) -> StrategyComparison:
+    """Run every (scene, strategy) cell and collect the results.
+
+    ``base_config`` defaults to the paper's full SMS configuration
+    (``RB_8+SH_8+SK+RA``); each strategy adapts it via
+    ``adapt_config``.  Strategy names are validated up front so typos
+    fail before any tracing starts.
+    """
+    from repro.core.presets import sms_config
+
+    cache = cache or WorkloadCache()
+    names = [resolve_strategy(spec).name for spec in strategies]
+    if not names:
+        names = list(DEFAULT_STRATEGIES)
+    config = base_config if base_config is not None else sms_config()
+    # Scene-major job order keeps each scene's phase-one traces warm in
+    # the per-process memo across its strategy cells.
+    jobs = [
+        SimulationJob.from_params(
+            scene,
+            config,
+            params=cache.params,
+            max_bounces=cache.max_bounces,
+            strategy=name,
+        )
+        for scene in cache.names
+        for name in names
+    ]
+    store = getattr(cache, "store", None)
+    policy = getattr(cache, "policy", None)
+    if policy is not None:
+        from repro.runtime.executor import run_jobs
+
+        report = run_jobs(jobs, store=store, policy=policy)
+        metrics = getattr(cache, "metrics", None)
+        if metrics is not None:
+            metrics.merge(report.metrics)
+        results = report.results
+    else:
+        results = [job.run() for job in jobs]
+    flat = iter(results)
+    per_scene = {
+        scene: {name: next(flat) for name in names} for scene in cache.names
+    }
+    return StrategyComparison(
+        strategies=names,
+        base_label=config.describe(),
+        per_scene=per_scene,
+    )
+
+
+def render(result: StrategyComparison) -> str:
+    """Per-scene tables plus the aggregate, paper-style."""
+    headers = [
+        "strategy", "config", "IPC", "vs " + result.strategies[0],
+        "cycles", "stack gbl", "stack shd", "L1D KB", "DRAM KB", "uJ",
+    ]
+    blocks: List[str] = []
+    base_name = result.strategies[0]
+    for scene, per_strategy in result.per_scene.items():
+        base = _metrics(per_strategy[base_name])
+        rows = []
+        for name in result.strategies:
+            cell = per_strategy[name]
+            m = _metrics(cell)
+            rows.append((
+                name,
+                cell.label,
+                f"{m['ipc']:.4f}",
+                f"{m['ipc'] / base['ipc']:.3f}" if base["ipc"] else "-",
+                int(m["cycles"]),
+                int(m["stack_global"]),
+                int(m["stack_shared"]),
+                f"{m['l1d_kb']:.1f}",
+                f"{m['dram_kb']:.1f}",
+                f"{m['energy_uj']:.2f}",
+            ))
+        blocks.append(format_table(headers, rows, title=f"[{scene}]"))
+
+    # Aggregate: geomean speedup, total traffic and energy over the suite.
+    agg_rows = []
+    for name in result.strategies:
+        speedups = []
+        totals = {"stack_global": 0.0, "stack_shared": 0.0,
+                  "l1d_kb": 0.0, "dram_kb": 0.0, "energy_uj": 0.0}
+        for per_strategy in result.per_scene.values():
+            base = _metrics(per_strategy[base_name])
+            m = _metrics(per_strategy[name])
+            if base["ipc"]:
+                speedups.append(m["ipc"] / base["ipc"])
+            for key in totals:
+                totals[key] += m[key]
+        agg_rows.append((
+            name,
+            f"{geomean(speedups):.3f}" if speedups else "-",
+            int(totals["stack_global"]),
+            int(totals["stack_shared"]),
+            f"{totals['l1d_kb']:.1f}",
+            f"{totals['dram_kb']:.1f}",
+            f"{totals['energy_uj']:.2f}",
+        ))
+    blocks.append(format_table(
+        ["strategy", f"IPC geomean vs {base_name}", "stack gbl",
+         "stack shd", "L1D KB", "DRAM KB", "uJ"],
+        agg_rows,
+        title=f"[aggregate over {len(result.per_scene)} scenes, "
+              f"base config {result.base_label}]",
+    ))
+    return "\n\n".join(blocks)

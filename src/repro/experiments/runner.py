@@ -44,10 +44,11 @@ EXPERIMENTS = {
 }
 
 #: Extra (non-paper) studies runnable through the same interface.
-from repro.experiments import energy_study
+from repro.experiments import compare_strategies, energy_study
 
 EXTRA_EXPERIMENTS = {
     "energy": energy_study,
+    "compare": compare_strategies,
 }
 
 #: Drivers that take no workload cache.

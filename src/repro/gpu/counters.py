@@ -58,6 +58,16 @@ class Counters:
         return self.stack_shared_loads + self.stack_shared_stores
 
     @property
+    def l1_accesses(self) -> int:
+        """All L1D accesses (node fetches plus cached spill traffic)."""
+        return self.l1_hits + self.l1_misses
+
+    @property
+    def l2_accesses(self) -> int:
+        """All L2 accesses."""
+        return self.l2_hits + self.l2_misses
+
+    @property
     def l1_hit_rate(self) -> float:
         """L1D hit rate over all accesses."""
         total = self.l1_hits + self.l1_misses

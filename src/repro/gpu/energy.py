@@ -83,8 +83,8 @@ def estimate_energy(
     report = EnergyReport()
     b = report.breakdown_nj
     # Node-data path: every L1 access, L2 access and DRAM transaction.
-    l1_accesses = counters.l1_hits + counters.l1_misses
-    l2_accesses = counters.l2_hits + counters.l2_misses
+    l1_accesses = counters.l1_accesses
+    l2_accesses = counters.l2_accesses
     b["node_l1"] = l1_accesses * model.l1_access_pj / 1e3
     b["node_l2"] = l2_accesses * model.l2_access_pj / 1e3
     # DRAM covers node misses plus uncached spill traffic; splitting the

@@ -30,7 +30,6 @@ from repro.guard.config import GuardConfig
 from repro.guard.invariants import InvariantChecker
 from repro.guard.watchdog import ProgressWatchdog
 from repro.stack.base import StackModel
-from repro.stack.factory import make_stack_model
 from repro.stack.ops import MemSpace, OpKind, StackActivity
 from repro.stack.sms import SmsStack
 from repro.trace.events import NodeKind
@@ -48,7 +47,10 @@ class RTUnit:
         verify_pops: bool = True,
         guard: Optional[GuardConfig] = None,
         fast_forward: bool = True,
+        strategy=None,
     ) -> None:
+        from repro.traversal.registry import resolve_strategy
+
         self.config = config
         self.hierarchy = hierarchy
         self.counters = counters
@@ -56,36 +58,20 @@ class RTUnit:
         self.verify_pops = verify_pops
         self.guard = guard
         self.fast_forward = fast_forward
+        #: The traversal strategy owns lane-state construction (which
+        #: stack model each warp slot replays against, or none at all).
+        self.strategy = resolve_strategy(strategy)
         self.sharedmem = SharedMemorySim(config)
-        if config.inter_warp_realloc and config.rb_stack_entries is not None:
-            # One shared stack model spans every warp slot of the unit so
-            # lanes can borrow SH regions across warps (the design the
-            # paper rejects; see repro.stack.interwarp).
-            from repro.stack.interwarp import InterWarpSmsStack, SlotView
-
-            self._shared_stack = InterWarpSmsStack(
-                rb_entries=config.rb_stack_entries,
-                sh_entries=config.sh_stack_entries,
-                slots=config.max_warps_per_rt_unit,
-                lanes_per_warp=config.warp_size,
-                skewed=config.skewed_bank_access,
-                max_borrows=config.max_borrows,
-                max_flushes=config.max_flushes,
-                unit_index=sm_id,
+        self._stacks: List[StackModel] = self.strategy.make_unit_stacks(
+            config, sm_id=sm_id
+        )
+        if len(self._stacks) != config.max_warps_per_rt_unit:
+            raise SimulationError(
+                f"strategy {self.strategy.name!r} built "
+                f"{len(self._stacks)} lane-state models for "
+                f"{config.max_warps_per_rt_unit} warp slots",
+                sm_id=sm_id, component="strategy",
             )
-            self._stacks: List[StackModel] = [
-                SlotView(self._shared_stack, slot)
-                for slot in range(config.max_warps_per_rt_unit)
-            ]
-        else:
-            self._shared_stack = None
-            self._stacks = [
-                make_stack_model(
-                    config,
-                    warp_index=sm_id * config.max_warps_per_rt_unit + slot,
-                )
-                for slot in range(config.max_warps_per_rt_unit)
-            ]
         # Integrity layer (opt-in): chaos wraps innermost so injected
         # faults look like real bugs to the checker wrapped around it.
         self._chaos: Optional[ChaosController] = None

@@ -63,8 +63,16 @@ class GPUSimulator:
         verify_pops: bool = True,
         guard=None,
         fast_forward: bool = True,
+        strategy=None,
     ) -> None:
-        self.config = config or GPUConfig()
+        from repro.traversal.registry import resolve_strategy
+
+        #: The traversal strategy (name, instance, or None for the
+        #: default stack strategy).  The strategy may adapt the
+        #: configuration — e.g. stackless drops the SH carve-out, which
+        #: returns that SRAM to the L1D.
+        self.strategy = resolve_strategy(strategy)
+        self.config = self.strategy.adapt_config(config or GPUConfig())
         self.verify_pops = verify_pops
         self.guard = guard
         #: When True (default), RT units may take the event-driven
@@ -99,7 +107,7 @@ class GPUSimulator:
             rt_unit = RTUnit(
                 config, hierarchy, counters, sm_id=sm_id,
                 verify_pops=self.verify_pops, guard=self.guard,
-                fast_forward=self.fast_forward,
+                fast_forward=self.fast_forward, strategy=self.strategy,
             )
             cycles = rt_unit.run(sm_warps)
             per_sm_cycles.append(cycles)

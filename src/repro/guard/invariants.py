@@ -65,6 +65,12 @@ class GuardedStack:
         self.component = component
         self.deep_check = deep_check
         self.warp_size = inner.warp_size
+        #: Structural-only mode: the wrapped model declares it keeps no
+        #: traversal stack (``has_stack = False``, e.g. the stackless
+        #: strategy's lane state).  Conservation laws are vacuous there;
+        #: what the guard enforces instead is that no stack operation and
+        #: no stack traffic exist at all.
+        self.structural_only = not getattr(inner, "has_stack", True)
         self._shadow: List[List[int]] = [[] for _ in range(self.warp_size)]
         # Logical-entry accounting (conservation law).
         self.pushed = 0
@@ -139,6 +145,12 @@ class GuardedStack:
     # ------------------------------------------------------------------
 
     def push(self, lane: int, value: int) -> StackActivity:
+        if self.structural_only:
+            self._violation(
+                f"stack push ({value:#x}) issued under a stackless "
+                f"strategy — no traversal stack exists",
+                lane,
+            )
         activity = self.inner.push(lane, value)
         self._shadow[lane].append(value)
         self.pushed += 1
@@ -147,6 +159,12 @@ class GuardedStack:
         return activity
 
     def pop(self, lane: int):
+        if self.structural_only:
+            self._violation(
+                "stack pop issued under a stackless strategy — no "
+                "traversal stack exists",
+                lane,
+            )
         shadow = self._shadow[lane]
         try:
             value, activity = self.inner.pop(lane)
@@ -213,7 +231,35 @@ class GuardedStack:
         RT unit has recorded so far — a region whose flush count exceeds
         ``max_flushes`` without a recorded forced flush means the
         graceful-degradation path was bypassed silently.
+
+        Structural-only mode (no-stack strategies) replaces the
+        conservation laws with their degenerate form: no operations, no
+        traffic, every lane permanently at depth zero.
         """
+        if self.structural_only:
+            if self.pushed or self.popped or self.discarded:
+                self._violation(
+                    f"stackless strategy accumulated stack operations "
+                    f"(pushed={self.pushed}, popped={self.popped}, "
+                    f"discarded={self.discarded})"
+                )
+            traffic = (
+                self.shared_loads + self.shared_stores
+                + self.global_loads + self.global_stores
+            )
+            if traffic:
+                self._violation(
+                    f"stackless strategy emitted {traffic} stack memory "
+                    f"requests; spill traffic must be zero"
+                )
+            for lane in range(self.warp_size):
+                if self.inner.depth(lane) != 0:
+                    self._violation(
+                        f"stackless lane reports depth "
+                        f"{self.inner.depth(lane)}, expected 0",
+                        lane,
+                    )
+            return
         for lane in range(self.warp_size):
             shadow = self._shadow[lane]
             if self.inner.depth(lane) != len(shadow):

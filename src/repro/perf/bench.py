@@ -237,6 +237,27 @@ def run_benchmarks(
         say(f"[bench:{tag}] {case.name}: {best:.3f}s "
             f"({len(traces) / best:,.0f} rays/s)")
 
+    trace_cases = {case.name: case for case in cases if case.kind == "trace"}
+    strategy_traced: Dict[tuple, list] = {}
+
+    def traces_for(case: BenchCase) -> list:
+        """The sim case's input traces; strategy phase one is unmeasured."""
+        if case.strategy is None:
+            return traced[case.source]
+        from repro.traversal import resolve_strategy
+
+        strategy = resolve_strategy(case.strategy)
+        key = (case.source, strategy.trace_key())
+        if key not in strategy_traced:
+            source = trace_cases[case.source]
+            workload = strategy.build_workload(
+                bvh_for(source.scene), width=source.width,
+                height=source.height, spp=source.spp,
+                max_bounces=source.bounces, seed=source.seed,
+            )
+            strategy_traced[key] = workload.all_traces
+        return strategy_traced[key]
+
     for case in cases:
         if case.kind != "sim":
             continue
@@ -245,12 +266,12 @@ def run_benchmarks(
                 f"sim case {case.name!r} references unknown trace case "
                 f"{case.source!r}"
             )
-        traces = traced[case.source]
+        traces = traces_for(case)
         config = named_config(case.config)
         best = float("inf")
         output = None
         for _ in range(repeats):
-            simulator = GPUSimulator(config=config)
+            simulator = GPUSimulator(config=config, strategy=case.strategy)
             start = time.perf_counter()
             output = simulator.run_traces(traces)
             best = min(best, time.perf_counter() - start)

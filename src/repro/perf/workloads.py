@@ -24,7 +24,9 @@ from typing import Optional, Tuple
 
 #: Bump when the matrix below changes; payloads carry it so a comparison
 #: across incompatible matrices fails loudly instead of silently.
-MATRIX_VERSION = 1
+#: 2: benchmark cases gained the traversal-strategy axis plus the
+#: stackless sim case.
+MATRIX_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -34,7 +36,10 @@ class BenchCase:
     ``kind`` is ``"trace"`` (measure workload generation) or ``"sim"``
     (measure the timing model on the named trace case's output).
     ``source`` names the ``trace`` case whose traces a ``sim`` case
-    replays, so the expensive phase-one work is shared.
+    replays, so the expensive phase-one work is shared.  ``strategy``
+    (sim cases) selects a non-default traversal strategy; its phase-one
+    traces are regenerated from the source case's parameters outside the
+    measured region, so the case still times only the replay.
     """
 
     name: str
@@ -47,6 +52,7 @@ class BenchCase:
     seed: int = 0
     config: Optional[str] = None  # sim cases: configuration label
     source: Optional[str] = None  # sim cases: trace case supplying traces
+    strategy: Optional[str] = None  # sim cases: traversal strategy override
 
 
 #: The reference matrix every ``BENCH_*.json`` measures.
@@ -63,4 +69,6 @@ REFERENCE_MATRIX: Tuple[BenchCase, ...] = (
               config="RB_8+SH_8+SK+RA", source="trace:CRNVL"),
     BenchCase(name="sim:BUNNY/RB_8+SH_8", kind="sim", scene="BUNNY",
               config="RB_8+SH_8", source="trace:BUNNY"),
+    BenchCase(name="sim:CRNVL/stackless", kind="sim", scene="CRNVL",
+              config="RB_8", source="trace:CRNVL", strategy="stackless"),
 )

@@ -27,7 +27,8 @@ from repro.gpu.config import GPUConfig
 from repro.workloads.params import DEFAULT_PARAMS, WorkloadParams
 
 #: Bump when the stored-result layout changes incompatibly.
-CACHE_SCHEMA_VERSION = 1
+#: 2: job specs gained the traversal-strategy field.
+CACHE_SCHEMA_VERSION = 2
 
 #: Traced workloads memoized per process (see :func:`_workload_traces`).
 _TRACE_MEMO_CAPACITY = 4
@@ -72,6 +73,10 @@ class SimulationJob:
     guard: bool = False
     #: Watchdog cycle budget; only meaningful with ``guard=True``.
     max_cycles: Optional[int] = None
+    #: Traversal strategy name (:mod:`repro.traversal`).  Part of the
+    #: content address: both phases depend on it — the recorded traces
+    #: (stackless re-traces, reorder permutes) and the timing replay.
+    strategy: str = "sms"
 
     @classmethod
     def from_params(
@@ -81,6 +86,7 @@ class SimulationJob:
         params: WorkloadParams = DEFAULT_PARAMS,
         max_bounces: Optional[int] = None,
         verify_pops: bool = False,
+        strategy: str = "sms",
     ) -> "SimulationJob":
         """Build a job resolving the two-tier resolution scheme.
 
@@ -100,6 +106,7 @@ class SimulationJob:
             ),
             seed=params.seed,
             verify_pops=verify_pops,
+            strategy=strategy,
         )
 
     def spec(self) -> Dict:
@@ -119,6 +126,7 @@ class SimulationJob:
             "verify_pops": self.verify_pops,
             "guard": self.guard,
             "max_cycles": self.max_cycles,
+            "strategy": self.strategy,
             "salt": cache_salt(),
         }
 
@@ -150,11 +158,15 @@ class SimulationJob:
             scene_name=scene_name,
             verify_pops=self.verify_pops,
             guard=guard,
+            strategy=self.strategy,
         )
 
     def describe(self) -> str:
-        """Short human-readable label (scene + config label)."""
-        return f"{self.scene}/{self.config.describe()}"
+        """Short human-readable label (scene + config + strategy)."""
+        label = f"{self.scene}/{self.config.describe()}"
+        if self.strategy != "sms":
+            label += f"[{self.strategy}]"
+        return label
 
 
 def _workload_traces(job: SimulationJob) -> Tuple[str, List]:
@@ -162,22 +174,26 @@ def _workload_traces(job: SimulationJob) -> Tuple[str, List]:
 
     The memo key deliberately excludes the GPU configuration — phase one
     is configuration-independent, which is the whole point of the
-    two-phase split.
+    two-phase split.  It keys on the strategy's *trace key* rather than
+    its name, so strategies that record identical streams share entries.
     """
+    from repro.traversal.registry import resolve_strategy
+
+    strategy = resolve_strategy(job.strategy)
     memo_key = (
-        job.scene, job.width, job.height, job.spp, job.max_bounces, job.seed
+        job.scene, job.width, job.height, job.spp, job.max_bounces, job.seed,
+        strategy.trace_key(),
     )
     cached = _TRACE_MEMO.get(memo_key)
     if cached is not None:
         _TRACE_MEMO.move_to_end(memo_key)
         return cached
     from repro.bvh.api import build_bvh
-    from repro.trace.path import generate_workload
     from repro.workloads.lumibench import load_scene
 
     scene = load_scene(job.scene)
     bvh = build_bvh(scene)
-    workload = generate_workload(
+    workload = strategy.build_workload(
         bvh,
         width=job.width,
         height=job.height,

@@ -35,7 +35,9 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import ReproError
 from repro.simlint.model import Severity
 
-DEFAULT_TIMING_CRITICAL = ("repro.gpu", "repro.stack", "repro.trace")
+DEFAULT_TIMING_CRITICAL = (
+    "repro.gpu", "repro.stack", "repro.trace", "repro.traversal"
+)
 DEFAULT_SINGLETONS = (
     "EMPTY_ACTIVITY",
     "DEFAULT_PARAMS",

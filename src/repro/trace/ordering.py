@@ -16,6 +16,44 @@ from repro.errors import TraversalError
 from repro.trace.events import RayTrace
 
 
+def traversal_locality_key(trace: RayTrace, key_depth: int = 8) -> tuple:
+    """A ray's predicted-locality signature: its first node addresses.
+
+    Rays whose early traversals touch the same nodes fetch the same
+    cache lines and push the same children when scheduled into one warp;
+    the address prefix is the cheapest proxy for that (the treelet id of
+    ray-reordering hardware proposals, e.g. Meister et al. 2506.11273).
+    """
+    return tuple(step.address for step in trace.steps[:key_depth])
+
+
+def reorder_wave_by_locality(
+    wave: Sequence[RayTrace],
+    key_depth: int = 8,
+    window: int = 0,
+) -> List[RayTrace]:
+    """Stable-sort one wave so rays sharing an early traversal footprint
+    become warp neighbours.
+
+    ``window > 0`` models a finite reorder buffer: the wave is split into
+    consecutive ``window``-ray segments and each segment is sorted
+    independently (rays never move further than the buffer can hold).
+    ``window = 0`` is the idealized whole-wave sort.  The sort is stable,
+    so the result is a deterministic permutation of ``wave`` — the same
+    multiset of traces, only the warp packing changes.
+    """
+    if window < 0:
+        raise TraversalError("reorder window must be >= 0")
+    traces = list(wave)
+    span = window if window else len(traces)
+    ordered: List[RayTrace] = []
+    for start in range(0, len(traces), max(span, 1)):
+        segment = traces[start : start + span]
+        segment.sort(key=lambda trace: traversal_locality_key(trace, key_depth))
+        ordered.extend(segment)
+    return ordered
+
+
 def tiled_pixel_order(
     width: int, height: int, tile_w: int = 8, tile_h: int = 4
 ) -> List[int]:

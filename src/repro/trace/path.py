@@ -76,6 +76,7 @@ def generate_workload(
     max_bounces: int = 2,
     seed: int = 0,
     camera: PinholeCamera = None,
+    tracer_factory=None,
 ) -> PathTracerWorkload:
     """Path-trace a frame and return every ray's traversal trace.
 
@@ -88,11 +89,17 @@ def generate_workload(
         max_bounces: path depth; each bounce wave adds shadow+bounce rays.
         seed: workload RNG seed.
         camera: optional camera override.
+        tracer_factory: ``bvh -> tracer`` constructor; defaults to the
+            reference :class:`~repro.trace.tracer.Tracer`.  Traversal
+            strategies substitute their own tracer here (e.g. the
+            escape-link tracer).  The ray *population* is
+            tracer-independent as long as closest hits agree: bounce and
+            shadow spawning uses only closest-hit results.
 
     Returns:
         A :class:`PathTracerWorkload` with per-wave traces.
     """
-    tracer = Tracer(bvh)
+    tracer = (tracer_factory or Tracer)(bvh)
     rng = DeterministicRng(seed)
     scene = bvh.scene
     if camera is None:

@@ -1,0 +1,104 @@
+"""Stack-based traversal strategies (the paper's architectures).
+
+These wrap the existing stack models behind the strategy interface; the
+default :class:`StackStrategy` reproduces the old RTUnit constructor's
+stack wiring exactly, so ``strategy="sms"`` is bit-identical to the
+pre-strategy simulator (asserted by ``tests/traversal/test_bit_identity``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.errors import ConfigError
+from repro.stack.factory import make_stack_model
+from repro.traversal.base import TraversalStrategy
+
+if TYPE_CHECKING:
+    from repro.gpu.config import GPUConfig
+    from repro.stack.base import StackModel
+
+
+class StackStrategy(TraversalStrategy):
+    """Config-driven stack traversal — the default path.
+
+    Builds exactly the stack models the RT unit used to construct for
+    itself: one per-slot model from :mod:`repro.stack.factory`, or slot
+    views over one shared inter-warp model when the configuration enables
+    inter-warp reallocation.  Which of RB/SH/full/interwarp runs is still
+    the configuration's choice, so one strategy name covers the whole
+    paper ladder (``RB_8`` through ``RB_8+SH_8+SK+RA``).
+    """
+
+    name = "sms"
+
+    def make_unit_stacks(
+        self, config: "GPUConfig", sm_id: int = 0
+    ) -> List["StackModel"]:
+        if config.inter_warp_realloc and config.rb_stack_entries is not None:
+            # One shared stack model spans every warp slot of the unit so
+            # lanes can borrow SH regions across warps (the design the
+            # paper rejects; see repro.stack.interwarp).
+            from repro.stack.interwarp import InterWarpSmsStack, SlotView
+
+            shared = InterWarpSmsStack(
+                rb_entries=config.rb_stack_entries,
+                sh_entries=config.sh_stack_entries,
+                slots=config.max_warps_per_rt_unit,
+                lanes_per_warp=config.warp_size,
+                skewed=config.skewed_bank_access,
+                max_borrows=config.max_borrows,
+                max_flushes=config.max_flushes,
+                unit_index=sm_id,
+            )
+            return [
+                SlotView(shared, slot)
+                for slot in range(config.max_warps_per_rt_unit)
+            ]
+        return [
+            make_stack_model(
+                config,
+                warp_index=sm_id * config.max_warps_per_rt_unit + slot,
+            )
+            for slot in range(config.max_warps_per_rt_unit)
+        ]
+
+
+class BaselineStrategy(StackStrategy):
+    """RB-only traversal: force the SMS machinery off.
+
+    Same recorded traces and stack replay as :class:`StackStrategy`, but
+    the configuration is adapted to the paper's baseline (no SH stacks,
+    every overflow spills to global memory) regardless of what SMS knobs
+    the incoming config carries — the head-to-head engine can therefore
+    run ``baseline`` vs ``sms`` from one base configuration.
+    """
+
+    name = "baseline"
+
+    def adapt_config(self, config: "GPUConfig") -> "GPUConfig":
+        if config.rb_stack_entries is None:
+            raise ConfigError(
+                "baseline strategy needs a bounded RB stack "
+                "(rb_stack_entries is None)"
+            )
+        return config.with_(
+            sh_stack_entries=0,
+            skewed_bank_access=False,
+            intra_warp_realloc=False,
+            inter_warp_realloc=False,
+        )
+
+
+class InterWarpStrategy(StackStrategy):
+    """SMS with inter-warp SH reallocation forced on (paper section V-D)."""
+
+    name = "interwarp"
+
+    def adapt_config(self, config: "GPUConfig") -> "GPUConfig":
+        if config.rb_stack_entries is None or config.sh_stack_entries <= 0:
+            raise ConfigError(
+                "interwarp strategy needs RB and SH stacks configured "
+                "(rb_stack_entries set, sh_stack_entries > 0)"
+            )
+        return config.with_(inter_warp_realloc=True)

@@ -1,0 +1,85 @@
+"""Ray-reordering strategy: locality sort is a permutation, and stable."""
+
+import pytest
+
+from repro.errors import ConfigError, TraversalError
+from repro.trace.ordering import (
+    reorder_wave_by_locality,
+    traversal_locality_key,
+)
+from repro.traversal import ReorderStrategy, StackStrategy
+
+
+def _wave_ids(wave):
+    return sorted(trace.ray_id for trace in wave)
+
+
+def test_reorder_preserves_each_wave_as_multiset(small_bvh):
+    base = StackStrategy().build_workload(small_bvh, width=6, height=6,
+                                          max_bounces=2, seed=9)
+    reordered = ReorderStrategy(key_depth=8).build_workload(
+        small_bvh, width=6, height=6, max_bounces=2, seed=9
+    )
+    assert len(base.waves) == len(reordered.waves)
+    for before, after in zip(base.waves, reordered.waves):
+        assert _wave_ids(before) == _wave_ids(after)
+
+
+def test_reorder_sorts_within_waves_by_prefix(small_workload):
+    for wave in small_workload.waves:
+        reordered = reorder_wave_by_locality(wave, key_depth=8)
+        keys = [traversal_locality_key(t, key_depth=8) for t in reordered]
+        assert keys == sorted(keys)
+
+
+def test_reorder_is_stable_and_deterministic(small_workload):
+    wave = small_workload.waves[0]
+    first = reorder_wave_by_locality(wave, key_depth=4)
+    second = reorder_wave_by_locality(wave, key_depth=4)
+    assert [t.ray_id for t in first] == [t.ray_id for t in second]
+    # Stability: equal keys keep their original relative order.
+    key_of = {id(t): traversal_locality_key(t, key_depth=4) for t in wave}
+    original_rank = {id(t): i for i, t in enumerate(wave)}
+    for left, right in zip(first, first[1:]):
+        if key_of[id(left)] == key_of[id(right)]:
+            assert original_rank[id(left)] < original_rank[id(right)]
+
+
+def test_window_limits_sort_to_segments(small_workload):
+    wave = max(small_workload.waves, key=len)
+    window = max(2, len(wave) // 3)
+    segmented = reorder_wave_by_locality(wave, key_depth=8, window=window)
+    assert _wave_ids(wave) == _wave_ids(segmented)
+    # Each window-sized segment is sorted independently ...
+    for start in range(0, len(segmented), window):
+        segment = segmented[start:start + window]
+        keys = [traversal_locality_key(t, key_depth=8) for t in segment]
+        assert keys == sorted(keys)
+    # ... and segments are exactly the original segments, re-sorted.
+    for start in range(0, len(wave), window):
+        assert _wave_ids(wave[start:start + window]) == _wave_ids(
+            segmented[start:start + window]
+        )
+
+
+def test_negative_window_rejected(small_workload):
+    with pytest.raises(TraversalError):
+        reorder_wave_by_locality(small_workload.waves[0], window=-1)
+
+
+def test_constructor_validation():
+    with pytest.raises(ConfigError):
+        ReorderStrategy(key_depth=0)
+    with pytest.raises(ConfigError):
+        ReorderStrategy(window=-2)
+
+
+def test_trace_key_encodes_knobs():
+    assert ReorderStrategy().trace_key() != ReorderStrategy(
+        key_depth=2
+    ).trace_key()
+    assert ReorderStrategy().trace_key() != ReorderStrategy(
+        window=16
+    ).trace_key()
+    assert ReorderStrategy(key_depth=8, window=0).trace_key() == \
+        ReorderStrategy(key_depth=8, window=0).trace_key()

@@ -1,0 +1,152 @@
+"""Stackless (escape-link) traversal: correctness and zero-stack shape."""
+
+import numpy as np
+import pytest
+
+from repro.bvh.escape import NO_NODE
+from repro.bvh.layout import assign_addresses
+from repro.core.api import time_traces
+from repro.errors import StackError
+from repro.geometry.ray import Ray
+from repro.gpu.config import GPUConfig
+from repro.trace.tracer import Tracer
+from repro.traversal import StacklessStrategy
+from repro.traversal.stackless import EscapeTracer, StacklessState
+
+
+def _fuzz_rays(bvh, count, seed):
+    """Rays from random origins through random points of the scene AABB."""
+    rng = np.random.default_rng(seed)
+    root = bvh.nodes[bvh.root].bounds
+    lo, hi = np.asarray(root.lo), np.asarray(root.hi)
+    span = hi - lo
+    rays = []
+    for _ in range(count):
+        origin = lo - span * 0.5 + rng.random(3) * span * 2.0
+        target = lo + rng.random(3) * span
+        direction = target - origin
+        if np.linalg.norm(direction) < 1e-9:
+            direction = np.array([0.0, 0.0, 1.0])
+        rays.append(Ray(origin=origin, direction=direction))
+    return rays
+
+
+# -- hit-record equivalence with the reference tracer ---------------------
+
+
+def test_closest_hits_match_reference(small_bvh):
+    reference = Tracer(small_bvh)
+    stackless = EscapeTracer(small_bvh)
+    for ray in _fuzz_rays(small_bvh, 120, seed=11):
+        want = reference.trace(ray)
+        got = stackless.trace(ray)
+        assert got.hit_prim == want.hit_prim
+        if want.hit:
+            assert got.hit_t == pytest.approx(want.hit_t)
+
+
+def test_any_hit_agrees_on_occlusion(deep_bvh):
+    reference = Tracer(deep_bvh)
+    stackless = EscapeTracer(deep_bvh)
+    for ray in _fuzz_rays(deep_bvh, 60, seed=13):
+        want = reference.trace(ray, any_hit=True)
+        got = stackless.trace(ray, any_hit=True)
+        assert got.hit == want.hit
+
+
+# -- escape-index structure ----------------------------------------------
+
+
+def test_escape_index_covers_layout_dfs(small_bvh):
+    links = small_bvh.escape()
+    order = links.dfs_order(small_bvh.root)
+    assert sorted(order) == list(range(len(small_bvh.nodes)))
+    # The escape chain from the DFS-first node visits every node once:
+    # exhaustive traversal (all boxes hit) is exactly the static order.
+    visited = []
+    current = small_bvh.root
+    while current != NO_NODE:
+        visited.append(current)
+        child = links.first_child[current]
+        current = child if child != NO_NODE else links.escape[current]
+    assert visited == order
+
+
+def test_root_escapes_to_termination(small_bvh):
+    links = small_bvh.escape()
+    assert links.escape[small_bvh.root] == NO_NODE
+
+
+def test_leaves_have_no_first_child(small_bvh):
+    links = small_bvh.escape()
+    for index, node in enumerate(small_bvh.nodes):
+        if node.is_leaf:
+            assert links.first_child[index] == NO_NODE
+        else:
+            assert links.first_child[index] != NO_NODE
+
+
+# -- derived-structure invalidation (shared with the SoA mirror) ----------
+
+
+def test_assign_addresses_invalidates_escape_and_soa(small_scene):
+    from repro.bvh.api import build_bvh
+
+    bvh = build_bvh(small_scene)
+    soa_before, escape_before = bvh.soa(), bvh.escape()
+    # Cached until the layout changes ...
+    assert bvh.soa() is soa_before
+    assert bvh.escape() is escape_before
+    assign_addresses(bvh)
+    # ... then both derived structures rebuild together.
+    assert bvh.soa() is not soa_before
+    assert bvh.escape() is not escape_before
+
+
+# -- the no-stack lane state ---------------------------------------------
+
+
+def test_stackless_state_refuses_stack_ops():
+    state = StacklessState(warp_size=32)
+    assert state.has_stack is False
+    assert state.depth(0) == 0
+    assert state.contents(0) == []
+    with pytest.raises(StackError):
+        state.push(0, 0x40)
+    with pytest.raises(StackError):
+        state.pop(0)
+
+
+# -- end-to-end: phase one emits no stack events, phase two counts none ---
+
+
+def test_stackless_workload_has_no_stack_events(small_bvh):
+    workload = StacklessStrategy().build_workload(
+        small_bvh, width=6, height=6, spp=1, max_bounces=2, seed=5
+    )
+    assert workload.ray_count > 0
+    for trace in workload.all_traces:
+        for step in trace.steps:
+            assert step.pushes == []
+            assert not step.popped
+
+
+def test_stackless_simulation_counts_zero_stack_traffic(small_bvh):
+    strategy = StacklessStrategy()
+    workload = strategy.build_workload(
+        small_bvh, width=6, height=6, spp=1, max_bounces=2, seed=5
+    )
+    result = time_traces(
+        workload.all_traces,
+        config=GPUConfig(rb_stack_entries=8, sh_stack_entries=8,
+                         skewed_bank_access=True),
+        verify_pops=False,
+        strategy=strategy,
+    )
+    counters = result.counters.as_dict()
+    for name, value in counters.items():
+        if name.startswith("stack_"):
+            assert value == 0, f"{name} should be zero under stackless"
+    assert result.cycles > 0
+    # adapt_config returned the SH carve-out to the L1D.
+    assert result.config.sh_stack_entries == 0
