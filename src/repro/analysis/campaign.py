@@ -95,12 +95,25 @@ class Campaign:
             for config in self.configs
         ]
 
-    def run(self, cache: Optional[WorkloadCache] = None) -> CampaignResult:
+    def run(
+        self,
+        cache: Optional[WorkloadCache] = None,
+        service=None,
+    ) -> CampaignResult:
         """Execute every (scene, config) pair.
 
         Passing an explicit ``cache`` keeps the legacy serial path (the
         cache's pre-traced scenes are authoritative); otherwise the sweep
         goes through the runtime executor and result store.
+
+        ``service`` routes the sweep to a running ``repro serve``
+        instance instead: pass a
+        :class:`~repro.service.client.ServiceClient` or a
+        ``http://host:port`` URL.  The service path aggregates
+        bit-identically to local execution (the simulation is
+        deterministic, and the server sheds rather than drops), so the
+        two are interchangeable; campaign shedding is absorbed by the
+        client's backoff-and-resubmit loop.
         """
         resolved = self._resolved_configs()
         if cache is not None:
@@ -118,6 +131,15 @@ class Campaign:
             for name in names
             for config in resolved
         ]
+        if service is not None:
+            if isinstance(service, str):
+                from repro.service.client import ServiceClient
+
+                service = ServiceClient.from_url(service)
+            return CampaignResult(
+                results=service.run_jobs(sweep),
+                baseline_label=self.baseline_label,
+            )
         report = run_jobs(
             sweep,
             store=ResultStore(self.cache_dir) if self.use_cache else None,

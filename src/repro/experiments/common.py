@@ -8,6 +8,7 @@ library API exposes (``trace_scene`` / ``time_traces``).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -52,12 +53,26 @@ class WorkloadCache:
     ``scene_names=None`` means the full Table II suite.  ``params``
     controls resolution; experiments pass a scaled-down copy for quick
     smoke runs.
+
+    The in-memory layer is LRU-bounded: ``max_traced`` caps how many
+    traced scenes stay resident (``None`` keeps all — the historical
+    behavior, right for one-shot sweeps).  Long-running processes (the
+    sharded service, notebook sessions) set a bound so memory stays
+    flat; evictions are counted in ``evictions`` and surfaced through
+    :class:`~repro.runtime.metrics.RuntimeMetrics` and the service's
+    ``/metrics`` endpoint.
     """
 
     params: WorkloadParams = field(default_factory=lambda: DEFAULT_PARAMS)
     scene_names: Optional[Sequence[str]] = None
     max_bounces: Optional[int] = None
-    _cache: Dict[str, TracedScene] = field(default_factory=dict)
+    #: LRU capacity of the traced-scene cache (``None`` = unbounded).
+    max_traced: Optional[int] = None
+    #: Traced scenes evicted by the LRU bound since construction.
+    evictions: int = 0
+    _cache: "OrderedDict[str, TracedScene]" = field(
+        default_factory=OrderedDict
+    )
 
     @property
     def names(self) -> List[str]:
@@ -67,7 +82,9 @@ class WorkloadCache:
     def traced(self, name: str) -> TracedScene:
         """Trace (or fetch cached traces for) one scene."""
         key = name.upper()
-        if key not in self._cache:
+        if key in self._cache:
+            self._cache.move_to_end(key)
+        else:
             scene = load_scene(key)
             bvh = build_bvh(scene)
             width, height, spp = self.params.for_scene(key)
@@ -90,7 +107,15 @@ class WorkloadCache:
                 traces=workload.all_traces,
                 bvh_stats=compute_stats(bvh),
             )
+            if self.max_traced is not None:
+                while len(self._cache) > max(1, self.max_traced):
+                    self._cache.popitem(last=False)
+                    self.evictions += 1
+                    self._on_evict()
         return self._cache[key]
+
+    def _on_evict(self) -> None:
+        """Hook for subclasses that meter evictions (runtime cache)."""
 
     def simulate(
         self, name: str, config: GPUConfig, verify_pops: bool = False

@@ -20,6 +20,7 @@ from repro.guard.chaos import (
     ChaosReport,
     FaultOutcome,
     FaultSpec,
+    fault_families,
     run_chaos_campaign,
 )
 from repro.guard.config import GuardConfig
@@ -35,5 +36,6 @@ __all__ = [
     "FaultOutcome",
     "ChaosReport",
     "FAULT_CLASSES",
+    "fault_families",
     "run_chaos_campaign",
 ]

@@ -35,6 +35,22 @@ UNIT_FAULTS = ("skew_counter", "stuck_warp")
 #: Every injectable fault class.
 FAULT_CLASSES = STACK_FAULTS + UNIT_FAULTS
 
+
+def fault_families() -> Dict[str, Tuple[str, ...]]:
+    """Every chaos family the toolkit can inject, by layer.
+
+    ``guard`` faults attack the simulation model (this module);
+    ``service`` faults attack the serving layer
+    (:mod:`repro.service.faults`).  Imported lazily so the guard
+    package never pays for the service package at import time.
+    """
+    from repro.service.faults import SERVICE_FAULT_CLASSES
+
+    return {
+        "guard": FAULT_CLASSES,
+        "service": SERVICE_FAULT_CLASSES,
+    }
+
 #: XOR mask applied by ``corrupt_entry`` (flips address bits).
 _CORRUPT_MASK = 0x5_A5A0
 

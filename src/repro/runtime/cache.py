@@ -45,6 +45,10 @@ class CachedWorkloadCache(WorkloadCache):
     policy: ExecutionPolicy = field(default_factory=ExecutionPolicy)
     metrics: RuntimeMetrics = field(default_factory=RuntimeMetrics)
 
+    def _on_evict(self) -> None:
+        """Traced-scene LRU evictions flow into the run metrics."""
+        self.metrics.evictions += 1
+
     def job_for(
         self, name: str, config: GPUConfig, verify_pops: bool = False
     ) -> SimulationJob:
@@ -116,20 +120,24 @@ def runtime_cache(
     cache_dir=None,
     timeout: Optional[float] = None,
     progress: bool = False,
+    max_traced: Optional[int] = None,
 ) -> CachedWorkloadCache:
     """Build a :class:`CachedWorkloadCache` from user-facing knobs.
 
     The translation used by ``run_all`` and the CLI: ``jobs`` is the
     worker count (``None`` auto-sizes, ``1`` forces serial),
-    ``use_cache=False`` drops the persistent store entirely, and
+    ``use_cache=False`` drops the persistent store entirely,
     ``cache_dir`` overrides the store location (default
-    ``~/.cache/repro-sms`` or ``$REPRO_CACHE_DIR``).
+    ``~/.cache/repro-sms`` or ``$REPRO_CACHE_DIR``), and ``max_traced``
+    LRU-bounds the in-memory traced-scene cache (``None`` = unbounded;
+    long-running service processes set a bound).
     """
     from repro.workloads.params import DEFAULT_PARAMS
 
     return CachedWorkloadCache(
         params=params or DEFAULT_PARAMS,
         scene_names=scene_names,
+        max_traced=max_traced,
         store=ResultStore(cache_dir) if use_cache else None,
         policy=ExecutionPolicy(workers=jobs, timeout=timeout,
                                progress=progress),

@@ -1,0 +1,99 @@
+"""Injectable clocks for the runtime and serving layers.
+
+The serving layer (:mod:`repro.service`) lives inside simlint's
+timing-critical scope: it may not read the host clock directly (SL101),
+because every time-dependent decision — heartbeat staleness, token
+refill, breaker cooldowns — must be testable deterministically.  All of
+it therefore goes through a :class:`Clock` object injected at
+construction time.  This module owns the two implementations:
+
+- :class:`MonotonicClock` — the production clock, backed by
+  ``time.monotonic`` (this module is *not* timing-critical, so the host
+  reads are sanctioned here and only here);
+- :class:`ManualClock` — a test clock whose time only moves when the
+  test calls :meth:`ManualClock.advance`, with async sleepers woken in
+  deadline order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import time
+from typing import List, Tuple
+
+
+class Clock:
+    """Interface: a monotonic time source with sync and async sleeps."""
+
+    def now(self) -> float:
+        """Seconds on a monotonic axis (origin unspecified)."""
+        raise NotImplementedError
+
+    def block(self, seconds: float) -> None:
+        """Synchronous sleep (client-side polling, executor backoff)."""
+        raise NotImplementedError
+
+    async def sleep(self, seconds: float) -> None:
+        """Asynchronous sleep (coordinator loops, HTTP streaming)."""
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """The production clock: host monotonic time, real sleeps."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def block(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+    async def sleep(self, seconds: float) -> None:
+        await asyncio.sleep(max(0.0, seconds))
+
+
+class ManualClock(Clock):
+    """A clock tests drive by hand.
+
+    ``now()`` returns the value last set; :meth:`advance` moves it
+    forward and wakes every async sleeper whose deadline has passed (in
+    deadline order, ties broken by sleep order, so wakeups are
+    deterministic).  ``block`` advances time itself — a synchronous
+    caller would otherwise deadlock waiting for the test to advance.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self._sequence = itertools.count()
+        self._sleepers: List[Tuple[float, int, asyncio.Future]] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def block(self, seconds: float) -> None:
+        self._now += max(0.0, seconds)
+        self._wake()
+
+    async def sleep(self, seconds: float) -> None:
+        if seconds <= 0:
+            await asyncio.sleep(0)
+            return
+        future = asyncio.get_running_loop().create_future()
+        heapq.heappush(
+            self._sleepers,
+            (self._now + seconds, next(self._sequence), future),
+        )
+        await future
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward and release due sleepers."""
+        self._now += max(0.0, seconds)
+        self._wake()
+
+    def _wake(self) -> None:
+        while self._sleepers and self._sleepers[0][0] <= self._now:
+            _, _, future = heapq.heappop(self._sleepers)
+            if not future.done():
+                future.set_result(None)

@@ -7,10 +7,12 @@
    free and bit-identical, since the simulation is deterministic);
 2. identical jobs within one call are deduplicated and computed once;
 3. misses run on a bounded pool of worker processes — each failure is
-   retried with linear backoff up to the policy's retry budget, each
-   job has an optional wall-clock timeout, and a broken pool (a worker
-   killed by the OS, say) degrades the remaining jobs to serial
-   in-process execution rather than failing the sweep;
+   retried on a deterministic seeded exponential-backoff-with-jitter
+   schedule (:func:`repro.runtime.backoff.backoff_delay`, shared with
+   the serving layer) up to the policy's retry budget, each job has an
+   optional wall-clock timeout, and a broken pool (a worker killed by
+   the OS, say) degrades the remaining jobs to serial in-process
+   execution rather than failing the sweep;
 4. completed results are written back to the store.
 
 Results come back in job order; jobs that can never succeed raise
@@ -35,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.errors import GuardViolationError, JobExecutionError
+from repro.runtime.backoff import backoff_delay
 from repro.runtime.metrics import ProgressReporter, RuntimeMetrics
 from repro.runtime.store import ResultStore
 
@@ -52,20 +55,35 @@ class ExecutionPolicy:
     job's wall-clock seconds in a worker — an expired job is cancelled
     and re-run serially in-process (where it cannot be preempted but
     also cannot be lost).  ``retries`` is the number of *additional*
-    attempts after a failure, each preceded by ``backoff * attempt``
-    seconds of sleep.
+    attempts after a failure, each preceded by a deterministic seeded
+    exponential-backoff sleep: ``backoff`` is the first-retry base
+    delay, ``backoff_cap`` bounds the exponential growth, and
+    ``backoff_seed`` selects the jitter stream (see
+    :func:`repro.runtime.backoff.backoff_delay`).
     """
 
     workers: Optional[int] = None
     timeout: Optional[float] = None
     retries: int = 2
     backoff: float = 0.1
+    backoff_cap: float = 2.0
+    backoff_seed: int = 0
     progress: bool = False
 
     def effective_workers(self, pending: int) -> int:
         """Pool size for ``pending`` distinct jobs under this policy."""
         workers = self.workers if self.workers is not None else os.cpu_count() or 1
         return max(1, min(workers, pending))
+
+    def retry_delay(self, attempt: int, key: str = "") -> float:
+        """The deterministic backoff before retry number ``attempt``."""
+        return backoff_delay(
+            attempt,
+            base=self.backoff,
+            cap=self.backoff_cap,
+            seed=self.backoff_seed,
+            key=key,
+        )
 
 
 @dataclass
@@ -223,7 +241,9 @@ def _run_one_serial(state, policy, metrics, serial_runner, store=None):
                          traceback_text=_format_traceback(exc))
             state.attempts += 1
             metrics.retries += 1
-            time.sleep(policy.backoff * state.attempts)
+            delay = policy.retry_delay(state.attempts, key=state.key)
+            metrics.backoff_total_s += delay
+            time.sleep(delay)
 
 
 def _run_serial(states, results, store, policy, metrics, progress,
@@ -293,7 +313,9 @@ def _run_parallel(states, results, store, policy, metrics, progress,
                                  traceback_text=_format_traceback(exc))
                     state.attempts += 1
                     metrics.retries += 1
-                    time.sleep(policy.backoff * state.attempts)
+                    delay = policy.retry_delay(state.attempts, key=state.key)
+                    metrics.backoff_total_s += delay
+                    time.sleep(delay)
                     queue.append(state)
                 else:
                     metrics.job_seconds.append(time.monotonic() - begun)

@@ -10,8 +10,12 @@ spec plus the code-version salt, so changed configs or a version bump
 simply miss.  Stale entries are garbage, not hazards; ``clear()`` or a
 plain ``rm -r`` reclaims the space.
 
-Writes are atomic (temp file + ``os.replace``), so concurrent sweeps
-sharing a store never observe torn files.  Unparseable or
+Writes are crash-safe: the payload is written to a temp file, flushed
+and ``fsync``-ed, then ``os.replace``-d into place and the directory
+entry fsync-ed — so neither a concurrent sweep, a worker killed
+mid-write, nor a power cut can leave a torn JSON entry behind (a kill
+mid-write leaves at most an orphaned ``*.tmp.*`` file, which no read
+path ever matches).  Unparseable or
 schema-mismatched entries read as misses, but they are *quarantined* to
 ``<root>/corrupt/`` (with a logged warning) rather than deleted — a
 corrupt cache entry is evidence of a writer bug, and evidence should
@@ -25,6 +29,7 @@ how* is itself worth persisting for diagnosis.
 
 from __future__ import annotations
 
+import itertools
 import json
 import logging
 import os
@@ -36,6 +41,42 @@ from typing import Dict, Iterator, Optional
 from repro.core.results import SimulationResult
 
 logger = logging.getLogger(__name__)
+
+#: Per-process sequence for temp-file names: two writes of the same key
+#: from one process (retry after a corrupt read, say) must never race on
+#: one temp path.
+_TMP_SEQUENCE = itertools.count()
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry to disk (best-effort on odd filesystems)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _write_json_crash_safe(path: Path, payload: Dict) -> None:
+    """Write ``payload`` to ``path`` so a kill can never tear it.
+
+    temp file -> flush -> fsync -> ``os.replace`` -> directory fsync:
+    a reader (or a post-crash restart) sees either the complete previous
+    entry or the complete new one, never a prefix.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp.{os.getpid()}.{next(_TMP_SEQUENCE)}")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=1, sort_keys=True))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
 
 #: Default store location; override per-store or via ``REPRO_CACHE_DIR``.
 DEFAULT_CACHE_DIR = Path("~/.cache/repro-sms")
@@ -103,9 +144,8 @@ class ResultStore:
     def put(
         self, key: str, result: SimulationResult, spec: Optional[Dict] = None
     ) -> Path:
-        """Persist ``result`` under ``key`` atomically; returns the path."""
+        """Persist ``result`` under ``key`` crash-safely; returns the path."""
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema": STORE_SCHEMA_VERSION,
             "key": key,
@@ -117,9 +157,7 @@ class ResultStore:
             "spec": spec,
             "result": result.to_dict(),
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
-        os.replace(tmp, path)
+        _write_json_crash_safe(path, payload)
         return path
 
     # ------------------------------------------------------------------
@@ -149,7 +187,6 @@ class ResultStore:
         is formatted here.  Returns the path written.
         """
         path = self.failure_path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         diagnostics = getattr(error, "diagnostics", None)
         if traceback_text is None and error.__traceback__ is not None:
             traceback_text = "".join(
@@ -172,9 +209,7 @@ class ResultStore:
                 "traceback": traceback_text,
             },
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
-        os.replace(tmp, path)
+        _write_json_crash_safe(path, payload)
         return path
 
     def failure_for(self, key: str) -> Optional[Dict]:

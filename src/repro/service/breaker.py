@@ -1,0 +1,94 @@
+"""Per-shard circuit breaker.
+
+A shard that keeps failing (crashing, hanging, corrupting payloads)
+should stop receiving work *before* it has chewed through the redelivery
+budget of every job routed to it.  The breaker implements the classic
+three-state machine:
+
+- **closed** — healthy; failures are counted, ``threshold`` consecutive
+  ones trip the breaker;
+- **open** — the shard receives no work for ``cooldown`` seconds (the
+  router steals its queue and routes around it);
+- **half-open** — after the cooldown one probe job is allowed through;
+  success closes the breaker, failure re-opens it for another cooldown.
+
+All transitions are driven by the injected clock, so trip/recovery
+schedules are deterministic under test.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.clock import Clock
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker on an injected clock."""
+
+    def __init__(
+        self, threshold: int, cooldown: float, clock: Clock
+    ) -> None:
+        self.threshold = max(1, threshold)
+        self.cooldown = cooldown
+        self._clock = clock
+        self._failures = 0
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """``closed``, ``open`` or ``half_open`` (clock-refreshed)."""
+        if self._state == OPEN and (
+            self._clock.now() - self._opened_at >= self.cooldown
+        ):
+            self._state = HALF_OPEN
+            self._probing = False
+        return self._state
+
+    def allow(self) -> bool:
+        """May the router hand this shard a job right now?
+
+        In half-open state, exactly one probe is allowed per cooldown
+        window; its outcome decides the next state.
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and not self._probing:
+            self._probing = True
+            return True
+        return False
+
+    def allow_routing(self) -> bool:
+        """May new work be *queued* here?  (Open breaker: no.)
+
+        Looser than :meth:`allow` — a half-open shard may accumulate a
+        queue (the probe decides whether it drains here or is stolen).
+        """
+        return self.state != OPEN
+
+    def record_success(self) -> bool:
+        """A dispatched job finished cleanly; returns True on recovery."""
+        recovered = self._state == HALF_OPEN
+        self._state = CLOSED
+        self._failures = 0
+        self._probing = False
+        return recovered
+
+    def record_failure(self) -> bool:
+        """A shard-level failure happened; returns True if this trips it."""
+        if self._state == HALF_OPEN:
+            self._state = OPEN
+            self._opened_at = self._clock.now()
+            self._probing = False
+            return True
+        self._failures += 1
+        if self._state == CLOSED and self._failures >= self.threshold:
+            self._state = OPEN
+            self._opened_at = self._clock.now()
+            return True
+        return False

@@ -1,0 +1,214 @@
+"""Serving-layer fault injection — proves degradation never changes results.
+
+The guard chaos campaign (:mod:`repro.guard.chaos`) shows the *model*
+layer detects simulation bugs; this module shows the *serving* layer
+survives infrastructure faults without perturbing a single bit.  For
+each fault class in :data:`~repro.service.faults.SERVICE_FAULT_CLASSES`
+it runs a small real-simulation campaign against a live shard fleet
+with the fault armed, then verifies two things:
+
+1. **bit-identity** — every result equals a clean in-process
+   ``job.run()`` of the same spec (the service may reroute, redeliver,
+   restart and degrade, but placement must never leak into results);
+2. **visible degradation** — the expected ladder rung shows up in
+   :class:`~repro.service.metrics.ServiceMetrics` (a crash that nothing
+   counted is a fault the operator cannot see).
+
+Faults are deterministic (n-th job on a named shard; the flood is a
+fixed burst against a fixed token bucket), so a failing class replays
+exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.presets import named_config
+from repro.errors import ConfigError
+from repro.runtime.job import SimulationJob
+from repro.service.config import ServiceConfig
+from repro.service.coordinator import SimulationService
+from repro.service.faults import (
+    SERVICE_FAULT_CLASSES,
+    SHARD_FAULTS,
+    ServiceFaultSpec,
+)
+
+#: Metrics counters that must be nonzero for each fault class — the
+#: "degradation is visible" contract, checked counter by counter.
+DEGRADATION_MARKERS = {
+    "shard_kill": ("shard_crashes", "redeliveries", "shard_restarts"),
+    "heartbeat_freeze": ("heartbeat_timeouts", "redeliveries",
+                         "shard_restarts"),
+    "corrupt_result": ("corrupt_payloads", "redeliveries",
+                       "shard_restarts"),
+    "submission_flood": ("shed", "deduplicated"),
+}
+
+
+@dataclass
+class ServiceFaultOutcome:
+    """How one serving-layer fault class fared."""
+
+    kind: str
+    completed: int
+    expected: int
+    identical: bool
+    markers: Dict[str, int] = field(default_factory=dict)
+    missing_markers: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.completed == self.expected
+            and self.identical
+            and not self.missing_markers
+        )
+
+
+@dataclass
+class ServiceChaosReport:
+    """Result of one serving-layer fault-injection campaign."""
+
+    outcomes: List[ServiceFaultOutcome]
+
+    @property
+    def all_passed(self) -> bool:
+        return all(outcome.passed for outcome in self.outcomes)
+
+    def summary(self) -> str:
+        lines = [
+            f"{'fault':<18} {'done':>5} {'identical':>9}  degradation markers",
+        ]
+        for outcome in self.outcomes:
+            markers = ", ".join(
+                f"{name}={value}"
+                for name, value in sorted(outcome.markers.items())
+            )
+            if outcome.missing_markers:
+                markers += (
+                    "  MISSING: " + ", ".join(outcome.missing_markers)
+                )
+            lines.append(
+                f"{outcome.kind:<18} "
+                f"{outcome.completed}/{outcome.expected:<3} "
+                f"{'yes' if outcome.identical else 'NO':>9}  {markers}"
+            )
+        lines.append(
+            "verdict: "
+            + ("all faults survived bit-identically" if self.all_passed
+               else "SERVICE GAP — see above")
+        )
+        return "\n".join(lines)
+
+
+def chaos_jobs(count: int = 6, seed: int = 0) -> List[SimulationJob]:
+    """Small real-simulation jobs (distinct keys, ~tens of ms each)."""
+    from repro.workloads.lumibench import SCENE_NAMES
+
+    config = named_config("RB_8+SH_8+SK+RA")
+    jobs = []
+    for index in range(count):
+        jobs.append(SimulationJob(
+            scene=SCENE_NAMES[index % len(SCENE_NAMES)],
+            config=config,
+            width=8,
+            height=8,
+            spp=1,
+            max_bounces=2,
+            seed=seed,
+        ))
+    return jobs
+
+
+def _chaos_service_config(kind: str, seed: int) -> ServiceConfig:
+    """Fast-recovery knobs so a fault class settles in well under a second
+    of timeouts; the flood additionally gets a starved token bucket and
+    shallow queues so shedding actually fires."""
+    if kind == "submission_flood":
+        return ServiceConfig(
+            shards=2, queue_depth=2, rate=40.0, burst=3,
+            heartbeat_interval=0.02, heartbeat_timeout=1.0,
+            poll_tick=0.01, backoff_base=0.01, backoff_cap=0.05,
+            breaker_cooldown=0.05, seed=seed,
+        )
+    return ServiceConfig(
+        shards=2, queue_depth=16, rate=500.0, burst=128,
+        heartbeat_interval=0.02, heartbeat_timeout=0.35,
+        poll_tick=0.01, backoff_base=0.01, backoff_cap=0.05,
+        breaker_cooldown=0.05, seed=seed,
+    )
+
+
+async def _run_one_fault(
+    kind: str, jobs: List[SimulationJob], baseline: List[Dict], seed: int
+) -> ServiceFaultOutcome:
+    fault = None
+    if kind in SHARD_FAULTS:
+        fault = ServiceFaultSpec(kind=kind, shard=0, trigger=1)
+    submissions = list(jobs)
+    if kind == "submission_flood":
+        # Flood: every job submitted three times over a starved bucket —
+        # coalescing and shedding must both engage, results must not care.
+        submissions = list(jobs) * 3
+    config = _chaos_service_config(kind, seed)
+    async with SimulationService(config, fault=fault) as service:
+        results = await service.run_jobs(submissions)
+        metrics = service.metrics.as_dict()
+    # A duplicate never re-runs: it coalesces onto the in-flight entry
+    # or hits the done cache, depending on timing.  Either counts.
+    metrics["deduplicated"] = (
+        metrics["coalesced"] + metrics["memory_hits"] + metrics["cache_hits"]
+    )
+    expected_dicts = baseline * 3 if kind == "submission_flood" else baseline
+    identical = (
+        len(results) == len(expected_dicts)
+        and all(
+            result is not None and result.to_dict() == expected
+            for result, expected in zip(results, expected_dicts)
+        )
+    )
+    markers = {}
+    missing = []
+    for name in DEGRADATION_MARKERS[kind]:
+        markers[name] = metrics.get(name, 0)
+        if not markers[name]:
+            missing.append(name)
+    return ServiceFaultOutcome(
+        kind=kind,
+        completed=sum(1 for result in results if result is not None),
+        expected=len(submissions),
+        identical=identical,
+        markers=markers,
+        missing_markers=missing,
+    )
+
+
+def run_service_chaos_campaign(
+    kinds: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    job_count: int = 6,
+) -> ServiceChaosReport:
+    """Inject every serving-layer fault class and verify recovery.
+
+    Returns a :class:`ServiceChaosReport`; ``report.all_passed`` is the
+    verdict the service CI job asserts.
+    """
+    kinds = tuple(kinds) if kinds else SERVICE_FAULT_CLASSES
+    for kind in kinds:
+        if kind not in SERVICE_FAULT_CLASSES:
+            raise ConfigError(
+                f"unknown service fault kind {kind!r}; "
+                f"choose from {', '.join(SERVICE_FAULT_CLASSES)}"
+            )
+    jobs = chaos_jobs(count=job_count, seed=seed)
+    # The clean-room truth: serial in-process runs of the same specs.
+    baseline = [job.run().to_dict() for job in jobs]
+    outcomes = []
+    for kind in kinds:
+        outcomes.append(
+            asyncio.run(_run_one_fault(kind, jobs, baseline, seed))
+        )
+    return ServiceChaosReport(outcomes=outcomes)

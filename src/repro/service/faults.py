@@ -1,0 +1,68 @@
+"""The ``service`` fault family: serving-layer chaos specs.
+
+Extends the chaos methodology of :mod:`repro.guard.chaos` from the
+simulator core up to the serving layer.  Each fault is deterministic —
+it names a shard and a trigger (the n-th job that shard executes), so a
+chaos campaign replays exactly — and each models one real operational
+failure:
+
+``shard_kill``
+    the worker process exits hard (``os._exit``) mid-job, as if OOM-
+    killed: the coordinator must notice the death, restart the shard and
+    redeliver the in-flight job;
+``heartbeat_freeze``
+    the worker stops heartbeating and hangs: the health checker must
+    declare it dead on schedule and recover the same way;
+``corrupt_result``
+    the worker flips a byte in the result payload after digesting it:
+    the coordinator's checksum must reject it and redeliver;
+``submission_flood``
+    a client-side fault — a burst of submissions beyond the admission
+    limits: the service must shed with structured
+    :class:`~repro.errors.ServiceOverloadError` rather than queue
+    unboundedly, and still complete every job on resubmission.
+
+This module is import-light on purpose: :mod:`repro.guard` re-exports
+the family for its fault registry without pulling in the service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Faults injected inside a worker shard.
+SHARD_FAULTS = ("shard_kill", "heartbeat_freeze", "corrupt_result")
+
+#: Faults injected at the submission boundary.
+CLIENT_FAULTS = ("submission_flood",)
+
+#: Every serving-layer fault class.
+SERVICE_FAULT_CLASSES = SHARD_FAULTS + CLIENT_FAULTS
+
+
+@dataclass(frozen=True)
+class ServiceFaultSpec:
+    """One deterministic serving-layer fault.
+
+    ``shard`` picks the victim shard; ``trigger`` counts jobs executed
+    by that shard before the fault fires (1 = its first job).  Each
+    fault fires at most once — the replacement worker spawned after a
+    restart carries no fault, so recovery is observable.
+    """
+
+    kind: str
+    shard: int = 0
+    trigger: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVICE_FAULT_CLASSES:
+            raise ConfigError(
+                f"unknown service fault kind {self.kind!r}; "
+                f"choose from {', '.join(SERVICE_FAULT_CLASSES)}"
+            )
+        if self.trigger < 1:
+            raise ConfigError("service fault trigger must be >= 1")
+        if self.shard < 0:
+            raise ConfigError("service fault shard must be >= 0")

@@ -1,0 +1,52 @@
+"""Token-bucket admission control.
+
+The first rung of the service's load-shedding ladder: each admitted
+submission spends one token; tokens refill continuously at ``rate`` per
+second up to a ``burst`` capacity.  When the bucket is empty the caller
+is told *when* to come back (``retry_after``) instead of being queued —
+bounded queues plus explicit shedding is what keeps tail latency flat
+under overload.
+
+Time comes from the injected clock only, so the limiter is exactly
+testable with a :class:`~repro.runtime.clock.ManualClock`.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.clock import Clock
+
+
+class TokenBucket:
+    """Continuous-refill token bucket on an injected clock."""
+
+    def __init__(self, rate: float, burst: int, clock: Clock) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock.now()
+
+    def _refill(self) -> None:
+        now = self._clock.now()
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Spend ``tokens`` if available.
+
+        Returns ``0.0`` on success, otherwise the seconds until enough
+        tokens will have refilled (the caller's retry-after hint); the
+        bucket is left untouched on failure.
+        """
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+    @property
+    def available(self) -> float:
+        """Tokens currently in the bucket (after refill)."""
+        self._refill()
+        return self._tokens

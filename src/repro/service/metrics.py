@@ -1,0 +1,98 @@
+"""Structured metrics for the sharded simulation service.
+
+Every degradation decision the coordinator takes leaves a counter here,
+so the chaos suite can assert not just *that* a campaign completed but
+*which* path it took (retry / reroute / shed / serial-fallback), and the
+``/metrics`` endpoint can serve the whole ledger as JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters for one service instance's lifetime."""
+
+    #: Submissions received (including coalesced, hits and shed).
+    submitted: int = 0
+    #: Submissions admitted as new simulation work.
+    admitted: int = 0
+    #: Submissions coalesced onto an identical in-flight job.
+    coalesced: int = 0
+    #: Submissions served directly from the persistent result store.
+    cache_hits: int = 0
+    #: Submissions served from the coordinator's in-memory done cache.
+    memory_hits: int = 0
+    #: Submissions rejected by admission control (rate or queue bound).
+    shed: int = 0
+    #: ... of which by the token bucket.
+    shed_rate: int = 0
+    #: ... of which by full queues.
+    shed_queue: int = 0
+
+    #: Jobs completed with a result.
+    completed: int = 0
+    #: Jobs that ended in a (deterministic) failure.
+    failed: int = 0
+    #: Job-error retries (worker reported an exception; job requeued).
+    retries: int = 0
+    #: Jobs requeued because their shard crashed, hung or corrupted.
+    redeliveries: int = 0
+    #: Jobs executed by a shard that stole them from another queue.
+    steals: int = 0
+    #: Jobs run serially in-process as the terminal degradation mode.
+    serial_fallbacks: int = 0
+    #: Total seconds of deterministic backoff scheduled (restarts+retries).
+    backoff_total_s: float = 0.0
+
+    #: Shard processes found dead (crash) by the health checker.
+    shard_crashes: int = 0
+    #: Shards declared hung after a heartbeat timeout.
+    heartbeat_timeouts: int = 0
+    #: Result payloads rejected by the integrity checksum.
+    corrupt_payloads: int = 0
+    #: Shard worker restarts performed.
+    shard_restarts: int = 0
+    #: Circuit breakers tripped open.
+    breaker_trips: int = 0
+    #: Breakers closed again after a successful half-open probe.
+    breaker_recoveries: int = 0
+
+    #: Completed results evicted from the in-memory LRU done cache.
+    result_evictions: int = 0
+    #: Traced-workload memo evictions reported by worker shards.
+    trace_evictions: int = 0
+    #: Highest total queued depth observed.
+    queue_depth_peak: int = 0
+    #: Current queued depth (transient gauge).
+    queue_depth: int = 0
+
+    #: Per-shard job completion counts (index = shard id).
+    per_shard_completed: List[int] = field(default_factory=list)
+
+    def as_dict(self) -> Dict:
+        """The full ledger as a JSON-ready dict (``/metrics`` payload)."""
+        return asdict(self)
+
+    def summary(self) -> str:
+        """One-line human-readable account."""
+        parts = [
+            f"{self.submitted} submitted",
+            f"{self.completed} completed",
+            f"{self.cache_hits + self.memory_hits} cached",
+            f"{self.coalesced} coalesced",
+        ]
+        if self.shed:
+            parts.append(f"{self.shed} shed")
+        if self.redeliveries:
+            parts.append(f"{self.redeliveries} redelivered")
+        if self.shard_restarts:
+            parts.append(f"{self.shard_restarts} shard restarts")
+        if self.serial_fallbacks:
+            parts.append(f"{self.serial_fallbacks} serial fallbacks")
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        return ", ".join(parts)

@@ -1,0 +1,72 @@
+"""Circuit-breaker tests: trip, cooldown, half-open probe, recovery."""
+
+import pytest
+
+from repro.runtime.clock import ManualClock
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+def test_trips_after_consecutive_failures(clock):
+    breaker = CircuitBreaker(threshold=2, cooldown=1.0, clock=clock)
+    assert breaker.state == CLOSED
+    assert breaker.record_failure() is False
+    assert breaker.record_failure() is True  # the trip
+    assert breaker.state == OPEN
+    assert not breaker.allow()
+
+
+def test_success_resets_the_failure_streak(clock):
+    breaker = CircuitBreaker(threshold=2, cooldown=1.0, clock=clock)
+    breaker.record_failure()
+    breaker.record_success()
+    assert breaker.record_failure() is False
+    assert breaker.state == CLOSED
+
+
+def test_cooldown_opens_one_probe_slot(clock):
+    breaker = CircuitBreaker(threshold=1, cooldown=1.0, clock=clock)
+    breaker.record_failure()
+    assert not breaker.allow()
+    clock.advance(1.0)
+    assert breaker.state == HALF_OPEN
+    assert breaker.allow()       # the single probe
+    assert not breaker.allow()   # no second job while probing
+
+
+def test_probe_success_recovers(clock):
+    breaker = CircuitBreaker(threshold=1, cooldown=1.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(1.0)
+    assert breaker.allow()
+    assert breaker.record_success() is True  # recovery, not a no-op
+    assert breaker.state == CLOSED
+    assert breaker.allow()
+
+
+def test_probe_failure_reopens_for_another_cooldown(clock):
+    breaker = CircuitBreaker(threshold=1, cooldown=1.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(1.0)
+    assert breaker.allow()
+    assert breaker.record_failure() is True  # re-trip from half-open
+    assert breaker.state == OPEN
+    clock.advance(0.5)
+    assert not breaker.allow()
+    clock.advance(0.5)
+    assert breaker.allow()
+
+
+def test_routing_is_looser_than_dispatch(clock):
+    """A half-open shard may queue work even while its probe is out."""
+    breaker = CircuitBreaker(threshold=1, cooldown=1.0, clock=clock)
+    breaker.record_failure()
+    assert not breaker.allow_routing()
+    clock.advance(1.0)
+    assert breaker.allow()
+    assert not breaker.allow()
+    assert breaker.allow_routing()

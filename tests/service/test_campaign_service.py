@@ -1,0 +1,76 @@
+"""Campaign-over-service tests: the service path is a drop-in executor."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.analysis.campaign import Campaign
+from repro.service import (
+    ServiceClient,
+    ServiceConfig,
+    ServiceHTTPServer,
+    SimulationService,
+)
+from repro.workloads.params import WorkloadParams
+
+PARAMS = WorkloadParams().scaled(0.25)
+
+
+@pytest.fixture(scope="module")
+def server():
+    ready = threading.Event()
+    state = {}
+
+    def serve():
+        async def main():
+            config = ServiceConfig(
+                shards=2, poll_tick=0.01, heartbeat_interval=0.02,
+            )
+            async with SimulationService(config) as service:
+                http = ServiceHTTPServer(service, "127.0.0.1", 0)
+                await http.start()
+                state["port"] = http.port
+                state["stop"] = asyncio.Event()
+                state["loop"] = asyncio.get_running_loop()
+                ready.set()
+                await state["stop"].wait()
+                await http.stop()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    assert ready.wait(15), "server never came up"
+    yield state
+    state["loop"].call_soon_threadsafe(state["stop"].set)
+    thread.join(timeout=10)
+
+
+def small_campaign() -> Campaign:
+    return Campaign(
+        configs=("RB_8", "RB_8+SH_8+SK+RA"),
+        scenes=("WKND", "FOX"),
+        params=PARAMS,
+        jobs=1,
+        use_cache=False,
+    )
+
+
+def test_service_campaign_matches_local(server):
+    campaign = small_campaign()
+    client = ServiceClient(port=server["port"], timeout=120.0)
+    via_service = campaign.run(service=client)
+    local = campaign.run()
+    assert [r.to_dict() for r in via_service.results] == [
+        r.to_dict() for r in local.results
+    ]
+    # Aggregates built on the results agree too.
+    assert via_service.normalized_means() == local.normalized_means()
+
+
+def test_campaign_accepts_a_url(server):
+    campaign = small_campaign()
+    result = campaign.run(service=f"http://127.0.0.1:{server['port']}")
+    assert len(result.results) == 4
+    assert all(r.counters is not None for r in result.results)

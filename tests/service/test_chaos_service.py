@@ -1,0 +1,53 @@
+"""The service chaos campaign: every fault class, bit-identical, visible."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service import SERVICE_FAULT_CLASSES, ServiceFaultSpec
+from repro.service.chaos import (
+    DEGRADATION_MARKERS,
+    chaos_jobs,
+    run_service_chaos_campaign,
+)
+
+
+def test_fault_spec_validation():
+    with pytest.raises(ConfigError):
+        ServiceFaultSpec(kind="meteor_strike")
+    with pytest.raises(ConfigError):
+        ServiceFaultSpec(kind="shard_kill", trigger=0)
+    spec = ServiceFaultSpec(kind="shard_kill", shard=1, trigger=3)
+    assert (spec.shard, spec.trigger) == (1, 3)
+
+
+def test_every_fault_class_has_markers():
+    assert set(DEGRADATION_MARKERS) == set(SERVICE_FAULT_CLASSES)
+
+
+def test_chaos_jobs_are_distinct_and_deterministic():
+    jobs = chaos_jobs(count=4)
+    assert len({job.key() for job in jobs}) == 4
+    assert [j.key() for j in chaos_jobs(count=4)] == [j.key() for j in jobs]
+
+
+def test_campaign_rejects_unknown_kinds():
+    with pytest.raises(ConfigError):
+        run_service_chaos_campaign(kinds=["meteor_strike"])
+
+
+def test_full_campaign_passes():
+    """The acceptance criterion: each fault class completes with
+    bit-identical results and its degradation path visible in metrics."""
+    report = run_service_chaos_campaign(job_count=4)
+    assert [o.kind for o in report.outcomes] == list(SERVICE_FAULT_CLASSES)
+    for outcome in report.outcomes:
+        assert outcome.identical, f"{outcome.kind}: results not identical"
+        assert not outcome.missing_markers, (
+            f"{outcome.kind}: degradation invisible "
+            f"({outcome.missing_markers})"
+        )
+    assert report.all_passed
+    summary = report.summary()
+    assert "all faults survived bit-identically" in summary
+    for kind in SERVICE_FAULT_CLASSES:
+        assert kind in summary

@@ -1,0 +1,51 @@
+"""Token-bucket tests on a manual clock: exact, deterministic refill."""
+
+import pytest
+
+from repro.runtime.clock import ManualClock
+from repro.service.limiter import TokenBucket
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+def test_burst_then_shed(clock):
+    bucket = TokenBucket(rate=10.0, burst=3, clock=clock)
+    assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+    retry = bucket.try_acquire()
+    assert retry == pytest.approx(0.1)
+
+
+def test_failed_acquire_leaves_bucket_untouched(clock):
+    bucket = TokenBucket(rate=10.0, burst=1, clock=clock)
+    assert bucket.try_acquire() == 0.0
+    first = bucket.try_acquire()
+    second = bucket.try_acquire()
+    assert first == second == pytest.approx(0.1)
+
+
+def test_refill_is_continuous_and_capped(clock):
+    bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+    bucket.try_acquire()
+    bucket.try_acquire()
+    clock.advance(0.05)
+    assert bucket.available == pytest.approx(0.5)
+    clock.advance(10.0)
+    assert bucket.available == pytest.approx(2.0)  # capped at burst
+
+
+def test_retry_after_is_honest(clock):
+    """Waiting exactly the hinted time makes the next acquire succeed."""
+    bucket = TokenBucket(rate=4.0, burst=1, clock=clock)
+    assert bucket.try_acquire() == 0.0
+    retry = bucket.try_acquire()
+    clock.advance(retry)
+    assert bucket.try_acquire() == 0.0
+
+
+def test_multi_token_acquire(clock):
+    bucket = TokenBucket(rate=2.0, burst=4, clock=clock)
+    assert bucket.try_acquire(4.0) == 0.0
+    assert bucket.try_acquire(2.0) == pytest.approx(1.0)
