@@ -1,0 +1,130 @@
+"""Text and JSON reporters for ablation reports.
+
+The text form is three tables in the repo's uniform style (shared
+:func:`~repro.experiments.report.format_table` helper, same rounding
+rules as ``repro compare``): the Fig. 6/8-style sweep table over every
+design point, the ranked mechanism-importance table, and the
+IPC-vs-SRAM Pareto frontier.  The JSON form is the canonical
+:meth:`~repro.ablation.engine.AblationReport.to_dict` payload — the
+same bytes ``repro ablate run --out`` persists.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.experiments.report import format_table
+from repro.ablation.engine import AblationReport
+
+
+def render_json(report: AblationReport) -> str:
+    """The canonical JSON payload (sorted keys, 2-space indent)."""
+    return json.dumps(report.to_dict(), sort_keys=True, indent=2)
+
+
+def render_sweep(report: AblationReport) -> str:
+    """Every design point: knob settings, SRAM cost, speedup, energy."""
+    knob_names = report.space.range_names
+    headers = (
+        ["run", "config"] + knob_names
+        + ["SRAM KB", "speedup", "IPC geomean", "uJ total"]
+    )
+    precision = (
+        [None, None] + [None] * len(knob_names) + [1, 3, 4, 2]
+    )
+    rows: List[List] = []
+    for spec_id in report.run_ids:
+        entry = report.runs[spec_id]
+        scenes = entry["per_scene"]
+        ipc_geo = 1.0
+        energy = 0.0
+        count = 0
+        for scene in sorted(scenes):
+            ipc_geo *= scenes[scene]["ipc"]
+            energy += scenes[scene]["energy_uj"]
+            count += 1
+        ipc_geo = ipc_geo ** (1.0 / count) if count else 0.0
+        rows.append(
+            [spec_id[:8], entry["label"]]
+            + [_knob_cell(entry["knobs"].get(name)) for name in knob_names]
+            + [
+                entry["sram_bytes"] / 1024.0,
+                report.speedups.get(spec_id, 0.0),
+                ipc_geo,
+                energy,
+            ]
+        )
+    title = (
+        f"[sweep: space {report.space.name!r}, {len(report.runs)} design "
+        f"points x {len(report.space.scene_names())} scenes"
+        + (", guarded]" if report.guard else "]")
+    )
+    table = format_table(headers, rows, title=title, precision=precision)
+    if report.skipped:
+        table += (
+            f"\n({len(report.skipped)} combination(s) skipped as "
+            f"structurally invalid)"
+        )
+    return table
+
+
+def render_importance(report: AblationReport) -> str:
+    """The ranked attribution table (LOO + OAT deltas, percent)."""
+    rows = [
+        (
+            rank + 1,
+            imp.knob,
+            _knob_cell(imp.off_value),
+            _knob_cell(imp.on_value),
+            100.0 * imp.loo_delta,
+            100.0 * imp.oat_delta,
+        )
+        for rank, imp in enumerate(report.importance)
+    ]
+    return format_table(
+        ["rank", "knob", "off", "on", "LOO dIPC %", "OAT dIPC %"],
+        rows,
+        title="[mechanism importance: leave-one-out from the full design, "
+              "one-at-a-time from the reference]",
+        precision=(None, None, None, None, 2, 2),
+    )
+
+
+def render_pareto(report: AblationReport) -> str:
+    """The IPC-vs-SRAM frontier, cheapest design first."""
+    rows = [
+        (
+            point.run_id[:8],
+            point.label,
+            point.sram_bytes / 1024.0,
+            point.speedup,
+        )
+        for point in report.pareto
+    ]
+    return format_table(
+        ["run", "config", "SRAM KB", "speedup"],
+        rows,
+        title="[Pareto frontier: IPC speedup vs stack SRAM cost]",
+        precision=(None, None, 1, 3),
+    )
+
+
+def render_text(report: AblationReport) -> str:
+    """The full human-readable report (sweep + importance + Pareto)."""
+    return "\n\n".join([
+        render_sweep(report),
+        render_importance(report),
+        render_pareto(report),
+    ])
+
+
+def _knob_cell(value) -> str:
+    """Compact knob-value rendering for table cells."""
+    if value is None:
+        return "FULL"
+    if value is True:
+        return "on"
+    if value is False:
+        return "off"
+    return str(value)

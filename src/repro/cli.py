@@ -14,6 +14,14 @@ Installed as ``python -m repro``.  Commands:
     Regenerate one paper table/figure (or ``all``).  Sweeps run on a
     worker-process pool (``--jobs``) and are served from the persistent
     result store (``--no-cache`` / ``--cache-dir`` to control it).
+``ablate``
+    Design-space exploration over the SMS knobs.  ``ablate run``
+    expands a declared knob space (named, or a JSON file of ``fixed``
+    knobs plus ``ranges``) into a deterministic run matrix, executes it
+    (process pool, or ``--service`` against a running ``repro serve``),
+    and derives per-mechanism importance plus the IPC-vs-SRAM Pareto
+    frontier; ``ablate report`` / ``ablate pareto`` re-render a saved
+    run directory without re-simulating.
 ``overhead``
     Print the SMS hardware-overhead analysis (paper VI-C).
 ``cache``
@@ -102,6 +110,58 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--scenes", default="",
                      help="comma-separated scene subset (default: full suite)")
     _add_runtime_args(exp)
+
+    ablate = sub.add_parser(
+        "ablate",
+        help="design-space exploration / ablation over the SMS knobs",
+    )
+    ablate_sub = ablate.add_subparsers(dest="action", required=True)
+
+    ablate_run = ablate_sub.add_parser(
+        "run", help="expand a knob space, execute it, derive the report"
+    )
+    ablate_run.add_argument(
+        "--space", default="mechanisms",
+        help="declared space name or knob-space JSON file "
+        "(default mechanisms; see --list-spaces)",
+    )
+    ablate_run.add_argument("--list-spaces", action="store_true",
+                            help="list the declared spaces and exit")
+    ablate_run.add_argument("--out", default=None,
+                            help="run directory to write report.json into")
+    ablate_run.add_argument("--scenes", default="",
+                            help="comma-separated scene subset (overrides "
+                            "the space's own scene list)")
+    ablate_run.add_argument("--scale", type=float, default=1.0,
+                            help="workload resolution scale (default 1.0)")
+    ablate_run.add_argument("--guard", action="store_true",
+                            help="run every cell under the integrity guard")
+    ablate_run.add_argument("--service", default=None, metavar="URL",
+                            help="execute on a running 'repro serve' "
+                            "instance (http://host:port) instead of the "
+                            "local worker pool")
+    ablate_run.add_argument("--format", choices=("text", "json"),
+                            default="text",
+                            help="report format on stdout (default text)")
+    _add_runtime_args(ablate_run)
+
+    ablate_report = ablate_sub.add_parser(
+        "report", help="re-render a saved ablation run directory"
+    )
+    ablate_report.add_argument("run_dir", help="directory written by "
+                               "'repro ablate run --out'")
+    ablate_report.add_argument("--format", choices=("text", "json"),
+                               default="text",
+                               help="report format (default text)")
+
+    ablate_pareto = ablate_sub.add_parser(
+        "pareto", help="print a saved run's IPC-vs-SRAM Pareto frontier"
+    )
+    ablate_pareto.add_argument("run_dir", help="directory written by "
+                               "'repro ablate run --out'")
+    ablate_pareto.add_argument("--format", choices=("text", "json"),
+                               default="text",
+                               help="frontier format (default text)")
 
     sub.add_parser("overhead", help="print the SMS hardware overhead analysis")
 
@@ -367,6 +427,81 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_ablate(args) -> int:
+    """``repro ablate run|report|pareto``."""
+    if args.action == "run":
+        return _cmd_ablate_run(args)
+    import json
+
+    from repro.ablation import load_report, render_json, render_pareto, render_text
+
+    report = load_report(args.run_dir)
+    if args.action == "pareto":
+        if args.format == "json":
+            print(json.dumps([point.to_dict() for point in report.pareto],
+                             sort_keys=True, indent=2))
+        else:
+            print(render_pareto(report))
+        return 0
+    print(render_json(report) if args.format == "json" else render_text(report))
+    return 0
+
+
+def _cmd_ablate_run(args) -> int:
+    """Expand, execute and report one knob space."""
+    from dataclasses import replace
+
+    from repro.ablation import (
+        execute_matrix,
+        generate_matrix,
+        render_json,
+        render_text,
+        resolve_space,
+        space_catalog,
+        write_report,
+    )
+    from repro.workloads.params import DEFAULT_PARAMS
+
+    if args.list_spaces:
+        catalog = space_catalog()
+        for name in sorted(catalog):
+            print(f"{name:<12} {catalog[name]}")
+        return 0
+    space = resolve_space(args.space)
+    scenes = [s.strip() for s in args.scenes.split(",") if s.strip()]
+    if scenes:
+        space = replace(space, scenes=tuple(scenes))
+    params = (
+        DEFAULT_PARAMS if args.scale == 1.0 else DEFAULT_PARAMS.scaled(args.scale)
+    )
+    matrix = generate_matrix(space)
+    cache = None
+    if args.service:
+        report = execute_matrix(
+            matrix, params=params, guard=args.guard, service=args.service
+        )
+    else:
+        from repro.runtime.cache import runtime_cache
+
+        cache = runtime_cache(
+            params=params,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            progress=args.progress,
+        )
+        report = execute_matrix(
+            matrix, params=params, guard=args.guard, cache=cache
+        )
+    print(render_json(report) if args.format == "json" else render_text(report))
+    if args.out:
+        path = write_report(report, args.out)
+        print(f"report written to {path}", file=sys.stderr)
+    if cache is not None and cache.metrics.jobs_total:
+        print(f"[repro] {cache.metrics.summary()}", file=sys.stderr)
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro.runtime.store import ResultStore
 
@@ -564,6 +699,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "ablate":
+            return _cmd_ablate(args)
         if args.command == "overhead":
             return _cmd_overhead()
         if args.command == "cache":

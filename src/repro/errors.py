@@ -157,6 +157,17 @@ class ExperimentError(ReproError):
     """Experiment driver misuse (unknown figure id, missing results, ...)."""
 
 
+class AblationError(ReproError):
+    """Invalid ablation input (bad knob space, missing run directory, ...).
+
+    Everything the design-space engine rejects — malformed knob-space
+    files, unknown knob names, empty ranges, matrices whose importance
+    corners were filtered out, reports read from a directory that holds
+    none — raises this type, so the CLI turns it into a structured
+    ``error:`` message with exit code 2 rather than a traceback.
+    """
+
+
 class JobExecutionError(ReproError):
     """A runtime job kept failing after exhausting its retry budget."""
 

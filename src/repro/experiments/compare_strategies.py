@@ -118,8 +118,19 @@ def run(
     )
 
 
+#: Float digits for the per-scene table columns (see ``render``).
+_SCENE_PRECISION = (None, None, 4, 3, None, None, None, 1, 1, 2)
+#: Float digits for the aggregate table columns.
+_AGGREGATE_PRECISION = (None, 3, None, None, 1, 1, 2)
+
+
 def render(result: StrategyComparison) -> str:
-    """Per-scene tables plus the aggregate, paper-style."""
+    """Per-scene tables plus the aggregate, paper-style.
+
+    Cells are raw numbers; rounding and alignment are the shared
+    :func:`~repro.experiments.report.format_table` helper's job (one
+    rule for this table and the ablation reporter).
+    """
     headers = [
         "strategy", "config", "IPC", "vs " + result.strategies[0],
         "cycles", "stack gbl", "stack shd", "L1D KB", "DRAM KB", "uJ",
@@ -135,16 +146,18 @@ def render(result: StrategyComparison) -> str:
             rows.append((
                 name,
                 cell.label,
-                f"{m['ipc']:.4f}",
-                f"{m['ipc'] / base['ipc']:.3f}" if base["ipc"] else "-",
+                m["ipc"],
+                m["ipc"] / base["ipc"] if base["ipc"] else "-",
                 int(m["cycles"]),
                 int(m["stack_global"]),
                 int(m["stack_shared"]),
-                f"{m['l1d_kb']:.1f}",
-                f"{m['dram_kb']:.1f}",
-                f"{m['energy_uj']:.2f}",
+                m["l1d_kb"],
+                m["dram_kb"],
+                m["energy_uj"],
             ))
-        blocks.append(format_table(headers, rows, title=f"[{scene}]"))
+        blocks.append(format_table(
+            headers, rows, title=f"[{scene}]", precision=_SCENE_PRECISION,
+        ))
 
     # Aggregate: geomean speedup, total traffic and energy over the suite.
     agg_rows = []
@@ -161,12 +174,12 @@ def render(result: StrategyComparison) -> str:
                 totals[key] += m[key]
         agg_rows.append((
             name,
-            f"{geomean(speedups):.3f}" if speedups else "-",
+            geomean(speedups) if speedups else "-",
             int(totals["stack_global"]),
             int(totals["stack_shared"]),
-            f"{totals['l1d_kb']:.1f}",
-            f"{totals['dram_kb']:.1f}",
-            f"{totals['energy_uj']:.2f}",
+            totals["l1d_kb"],
+            totals["dram_kb"],
+            totals["energy_uj"],
         ))
     blocks.append(format_table(
         ["strategy", f"IPC geomean vs {base_name}", "stack gbl",
@@ -174,5 +187,6 @@ def render(result: StrategyComparison) -> str:
         agg_rows,
         title=f"[aggregate over {len(result.per_scene)} scenes, "
               f"base config {result.base_label}]",
+        precision=_AGGREGATE_PRECISION,
     ))
     return "\n\n".join(blocks)

@@ -2,21 +2,57 @@
 
 Every figure driver renders through these helpers so the benchmark
 harness prints uniform, diff-able tables (the "rows/series the paper
-reports").
+reports").  :func:`format_value` is the single rounding rule —
+``repro compare``'s strategy tables and the ablation reporter both
+format cells through it, so a precision change lands everywhere at
+once instead of drifting between hand-rolled f-strings.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
+
+#: Digits a float renders with when no per-column precision is given.
+DEFAULT_PRECISION = 3
+
+
+def format_value(cell, precision: Optional[int] = None) -> str:
+    """Render one table cell.
+
+    Floats round to ``precision`` digits (default
+    :data:`DEFAULT_PRECISION`); everything else renders via ``str``.
+    ``precision`` is ignored for non-floats, so mixed columns (a float
+    ratio with a ``"-"`` placeholder row) format consistently.
+    """
+    if isinstance(cell, float):
+        digits = DEFAULT_PRECISION if precision is None else precision
+        return f"{cell:.{digits}f}"
+    return str(cell)
 
 
 def format_table(
     headers: Sequence[str],
     rows: Iterable[Sequence],
     title: str = "",
+    precision: Optional[Sequence[Optional[int]]] = None,
 ) -> str:
-    """Render an aligned ASCII table."""
-    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    """Render an aligned ASCII table.
+
+    ``precision`` optionally gives per-column float digits (``None``
+    entries fall back to :data:`DEFAULT_PRECISION`); shorter sequences
+    cover the leading columns.  Cells are rendered through
+    :func:`format_value`, so callers pass raw numbers instead of
+    pre-formatted strings.
+    """
+    per_column = list(precision) if precision is not None else []
+
+    def _digits(index: int) -> Optional[int]:
+        return per_column[index] if index < len(per_column) else None
+
+    str_rows = [
+        [format_value(cell, _digits(i)) for i, cell in enumerate(row)]
+        for row in rows
+    ]
     widths = [len(h) for h in headers]
     for row in str_rows:
         for i, cell in enumerate(row):
@@ -46,9 +82,3 @@ def format_bar_series(
         bar = "#" * max(1, int(round(value / peak * width)))
         lines.append(f"{label:>20s} {value:6.3f} {bar}")
     return "\n".join(lines)
-
-
-def _fmt(cell) -> str:
-    if isinstance(cell, float):
-        return f"{cell:.3f}"
-    return str(cell)

@@ -44,11 +44,12 @@ EXPERIMENTS = {
 }
 
 #: Extra (non-paper) studies runnable through the same interface.
-from repro.experiments import compare_strategies, energy_study
+from repro.experiments import ablate, compare_strategies, energy_study
 
 EXTRA_EXPERIMENTS = {
     "energy": energy_study,
     "compare": compare_strategies,
+    "ablate": ablate,
 }
 
 #: Drivers that take no workload cache.

@@ -1,0 +1,158 @@
+"""Importance and Pareto analysis on synthetic IPC data."""
+
+import pytest
+
+from repro.ablation import (
+    FULL_STACK_PROXY_ENTRIES,
+    KnobSpace,
+    ParetoPoint,
+    corner_assignment,
+    pareto_frontier,
+    pareto_points,
+    generate_matrix,
+    rank_importance,
+    run_id,
+    speedups_vs_reference,
+    stack_sram_bytes,
+)
+from repro.errors import AblationError
+from repro.gpu.config import GPUConfig
+
+SPACE = KnobSpace(
+    name="synth",
+    fixed={"rb_stack_entries": 8},
+    ranges={
+        "sh_stack_entries": [0, 8],
+        "skewed_bank_access": [False, True],
+    },
+)
+
+
+def synthetic_ipc(sh_gain=1.30, sk_gain=1.10, synergy=1.0):
+    """Per-run, per-scene IPC with known multiplicative knob effects."""
+    data = {}
+    for sh in (0, 8):
+        for sk in (False, True):
+            ipc = 1.0
+            if sh:
+                ipc *= sh_gain
+            if sk:
+                ipc *= sk_gain
+            if sh and sk:
+                ipc *= synergy
+            knobs = {"rb_stack_entries": 8, "sh_stack_entries": sh,
+                     "skewed_bank_access": sk}
+            # Two scenes at different absolute scale; ratios identical.
+            data[run_id(knobs)] = {"A": ipc, "B": 2.0 * ipc}
+    return data
+
+
+def test_corner_assignment_follows_range_convention():
+    ref = corner_assignment(SPACE, full=False)
+    full = corner_assignment(SPACE, full=True)
+    assert ref == {"rb_stack_entries": 8, "sh_stack_entries": 0,
+                   "skewed_bank_access": False}
+    assert full == {"rb_stack_entries": 8, "sh_stack_entries": 8,
+                    "skewed_bank_access": True}
+
+
+def test_rank_importance_recovers_known_effects():
+    ranking = rank_importance(SPACE, synthetic_ipc())
+    assert [imp.knob for imp in ranking] == [
+        "sh_stack_entries", "skewed_bank_access",
+    ]
+    sh, sk = ranking
+    assert sh.loo_delta == pytest.approx(0.30)
+    assert sh.oat_delta == pytest.approx(0.30)
+    assert sk.loo_delta == pytest.approx(0.10)
+    assert sk.oat_delta == pytest.approx(0.10)
+    assert (sh.off_value, sh.on_value) == (0, 8)
+    assert (sk.off_value, sk.on_value) == (False, True)
+
+
+def test_rank_importance_separates_loo_from_oat_under_synergy():
+    ranking = rank_importance(SPACE, synthetic_ipc(synergy=1.05))
+    sh = next(imp for imp in ranking if imp.knob == "sh_stack_entries")
+    # Removing SH from the full corner also forfeits the synergy ...
+    assert sh.loo_delta == pytest.approx(0.30 * 1.05 + 0.05, rel=1e-6)
+    # ... while adding SH alone does not include it.
+    assert sh.oat_delta == pytest.approx(0.30)
+
+
+def test_rank_importance_ties_break_by_knob_name():
+    ranking = rank_importance(SPACE, synthetic_ipc(sh_gain=1.2, sk_gain=1.2))
+    assert [imp.knob for imp in ranking] == [
+        "sh_stack_entries", "skewed_bank_access",
+    ]
+
+
+def test_rank_importance_missing_corner_raises():
+    data = synthetic_ipc()
+    data.pop(run_id(corner_assignment(SPACE, full=True)))
+    with pytest.raises(AblationError, match="not in the collected results"):
+        rank_importance(SPACE, data)
+
+
+def test_speedups_normalize_per_scene_then_geomean():
+    speedups = speedups_vs_reference(SPACE, synthetic_ipc())
+    full_id = run_id(corner_assignment(SPACE, full=True))
+    ref_id = run_id(corner_assignment(SPACE, full=False))
+    assert speedups[ref_id] == pytest.approx(1.0)
+    assert speedups[full_id] == pytest.approx(1.30 * 1.10)
+
+
+def test_speedups_missing_reference_raises():
+    data = synthetic_ipc()
+    data.pop(run_id(corner_assignment(SPACE, full=False)))
+    with pytest.raises(AblationError, match="reference corner"):
+        speedups_vs_reference(SPACE, data)
+
+
+def test_pareto_frontier_keeps_only_strict_improvements():
+    points = [
+        ParetoPoint("a", "A", 100, 1.00),
+        ParetoPoint("b", "B", 200, 1.20),   # dominated by d (cheaper, faster)
+        ParetoPoint("c", "C", 150, 0.90),   # dominated by a
+        ParetoPoint("d", "D", 150, 1.25),
+        ParetoPoint("e", "E", 300, 1.25),   # ties d's speedup at higher cost
+    ]
+    frontier = pareto_frontier(points)
+    assert [p.run_id for p in frontier] == ["a", "d"]
+
+
+def test_pareto_frontier_equal_cost_keeps_single_best():
+    points = [
+        ParetoPoint("x", "X", 100, 1.10),
+        ParetoPoint("y", "Y", 100, 1.30),
+        ParetoPoint("z", "Z", 100, 1.30),
+    ]
+    frontier = pareto_frontier(points)
+    assert [p.run_id for p in frontier] == ["y"]
+
+
+def test_pareto_points_requires_speedups_for_every_run():
+    matrix = generate_matrix(SPACE)
+    with pytest.raises(AblationError, match="no collected speedup"):
+        pareto_points(matrix, {})
+
+
+def test_stack_sram_bytes_scales_with_rb_entries():
+    small = stack_sram_bytes(GPUConfig(rb_stack_entries=4, sh_stack_entries=0))
+    large = stack_sram_bytes(GPUConfig(rb_stack_entries=8, sh_stack_entries=0))
+    assert large == 2 * small
+
+
+def test_stack_sram_bytes_counts_sh_carveout_and_fields():
+    rb_only = GPUConfig(rb_stack_entries=8, sh_stack_entries=0)
+    with_sh = GPUConfig(rb_stack_entries=8, sh_stack_entries=8)
+    extra = stack_sram_bytes(with_sh) - stack_sram_bytes(rb_only)
+    assert extra > with_sh.shared_memory_bytes - rb_only.shared_memory_bytes
+
+
+def test_stack_sram_bytes_full_rb_uses_proxy_depth():
+    full = stack_sram_bytes(GPUConfig(rb_stack_entries=None,
+                                      sh_stack_entries=0))
+    per_entry = stack_sram_bytes(
+        GPUConfig(rb_stack_entries=1, sh_stack_entries=0)
+    )
+    assert full == FULL_STACK_PROXY_ENTRIES * per_entry

@@ -1,0 +1,107 @@
+"""CLI error paths: structured exit-2 messages, never raw tracebacks."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_malformed_knob_space_file(tmp_path, capsys):
+    path = tmp_path / "space.json"
+    path.write_text("{definitely not json")
+    code, out, err = run_cli(
+        ["ablate", "run", "--space", str(path)], capsys
+    )
+    assert code == 2
+    assert err.startswith("error: ")
+    assert "malformed JSON" in err
+    assert str(path) in err
+    assert "Traceback" not in err + out
+
+
+def test_missing_knob_space_file(tmp_path, capsys):
+    code, out, err = run_cli(
+        ["ablate", "run", "--space", str(tmp_path / "absent.json")], capsys
+    )
+    assert code == 2
+    assert err.startswith("error: ")
+    assert "cannot read" in err
+
+
+def test_empty_range_rejected(tmp_path, capsys):
+    path = tmp_path / "empty.json"
+    path.write_text(json.dumps({"ranges": {"sh_stack_entries": []}}))
+    code, out, err = run_cli(
+        ["ablate", "run", "--space", str(path)], capsys
+    )
+    assert code == 2
+    assert "empty range" in err
+    assert "sh_stack_entries" in err
+    assert "Traceback" not in err + out
+
+
+def test_unknown_knob_name_rejected(tmp_path, capsys):
+    path = tmp_path / "unknown.json"
+    path.write_text(json.dumps({"ranges": {"quantum_bits": [1, 2]}}))
+    code, out, err = run_cli(
+        ["ablate", "run", "--space", str(path)], capsys
+    )
+    assert code == 2
+    assert "unknown knob 'quantum_bits'" in err
+    # The message teaches the fix: it lists the knobs that do exist.
+    assert "sh_stack_entries" in err
+
+
+def test_unknown_named_space_rejected(capsys):
+    code, out, err = run_cli(
+        ["ablate", "run", "--space", "figure-of-doom", "--no-cache"], capsys
+    )
+    assert code == 2
+    assert "unknown knob space" in err
+    assert "mechanisms" in err
+
+
+def test_report_on_missing_run_dir(tmp_path, capsys):
+    code, out, err = run_cli(
+        ["ablate", "report", str(tmp_path / "never-ran")], capsys
+    )
+    assert code == 2
+    assert err.startswith("error: ")
+    assert "no such ablation run directory" in err
+    assert "Traceback" not in err + out
+
+
+def test_report_on_dir_without_report(tmp_path, capsys):
+    code, out, err = run_cli(["ablate", "report", str(tmp_path)], capsys)
+    assert code == 2
+    assert "not an ablation run directory" in err
+
+
+def test_pareto_on_missing_run_dir(tmp_path, capsys):
+    code, out, err = run_cli(
+        ["ablate", "pareto", str(tmp_path / "never-ran")], capsys
+    )
+    assert code == 2
+    assert "no such ablation run directory" in err
+
+
+def test_unknown_scene_rejected(tmp_path, capsys):
+    code, out, err = run_cli(
+        ["ablate", "run", "--space", "mechanisms", "--scenes", "ATLANTIS"],
+        capsys,
+    )
+    assert code == 2
+    assert "unknown scene" in err
+
+
+def test_ablate_requires_an_action(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["ablate"])
+    assert excinfo.value.code == 2

@@ -1,6 +1,11 @@
 """Report rendering tests."""
 
-from repro.experiments.report import format_bar_series, format_table
+from repro.experiments.report import (
+    DEFAULT_PRECISION,
+    format_bar_series,
+    format_table,
+    format_value,
+)
 
 
 def test_table_alignment():
@@ -9,6 +14,66 @@ def test_table_alignment():
     assert len(lines) == 4  # header, rule, two rows
     assert lines[0].startswith("a")
     assert "2.500" in text
+
+
+def test_format_value_rounds_floats_only():
+    assert format_value(2.5) == f"{2.5:.{DEFAULT_PRECISION}f}"
+    assert format_value(2.5, precision=1) == "2.5"
+    assert format_value(0.123456, precision=4) == "0.1235"
+    assert format_value(7) == "7"            # ints pass through unrounded
+    assert format_value(7, precision=1) == "7"
+    assert format_value("-") == "-"          # placeholder cells untouched
+    assert format_value(True) == "True"      # bool is not float
+
+
+def test_table_per_column_precision():
+    text = format_table(
+        ["name", "kb", "ratio"],
+        [("x", 8.1919, 1.23456)],
+        precision=(None, 1, 3),
+    )
+    row = text.splitlines()[-1]
+    assert "8.2" in row
+    assert "1.235" in row
+    assert "8.1919" not in row
+
+
+def test_table_precision_none_entries_use_default():
+    text = format_table(["v"], [(2.5,)], precision=(None,))
+    assert f"{2.5:.{DEFAULT_PRECISION}f}" in text
+
+
+def test_table_short_precision_covers_leading_columns():
+    # One precision entry, two columns: the second falls back to default.
+    text = format_table(["a", "b"], [(1.0, 2.0)], precision=(1,))
+    row = text.splitlines()[-1]
+    assert "1.0" in row
+    assert f"{2.0:.{DEFAULT_PRECISION}f}" in row
+
+
+def test_table_columns_align_with_mixed_widths():
+    text = format_table(
+        ["strategy", "IPC"],
+        [("sms", 1.2), ("a-much-longer-name", 10.25)],
+        precision=(None, 3),
+    )
+    header, rule, row1, row2 = text.splitlines()
+    # Every line is padded to the same column grid.
+    assert header.index("IPC") == row1.index("1.200")
+    assert row1.index("1.200") == row2.index("10.250")
+    assert len(rule) >= len("a-much-longer-name")
+
+
+def test_table_mixed_type_column_formats_consistently():
+    # A float ratio column with a "-" placeholder row (the compare
+    # engine's base row) renders without type errors or drift.
+    text = format_table(
+        ["s", "vs base"],
+        [("base", "-"), ("other", 1.0345)],
+        precision=(None, 3),
+    )
+    assert "-" in text
+    assert "1.034" in text or "1.035" in text
 
 
 def test_table_title():
