@@ -64,6 +64,10 @@ class AblationReport:
     pareto: List[ParetoPoint]
     #: Per-run geomean speedup over the reference corner.
     speedups: Dict[str, float] = field(default_factory=dict)
+    #: Timing backend every cell requested (``"stepped"`` or
+    #: ``"vector"``); results are bit-identical across backends, so the
+    #: field is provenance, not a knob dimension.
+    backend: str = "stepped"
 
     @property
     def run_ids(self) -> List[str]:
@@ -89,8 +93,13 @@ class AblationReport:
         }
 
     def to_dict(self) -> Dict:
-        """Canonical JSON-serializable form (content only, no clocks)."""
-        return {
+        """Canonical JSON-serializable form (content only, no clocks).
+
+        ``backend`` is only serialized when it differs from the default,
+        so reports produced before the field existed (and every stepped
+        campaign) keep their exact bytes.
+        """
+        payload = {
             "schema": REPORT_SCHEMA,
             "space": self.space.to_dict(),
             "params": asdict(self.params),
@@ -104,6 +113,9 @@ class AblationReport:
             "importance": [imp.to_dict() for imp in self.importance],
             "pareto": [point.to_dict() for point in self.pareto],
         }
+        if self.backend != "stepped":
+            payload["backend"] = self.backend
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict) -> "AblationReport":
@@ -149,6 +161,7 @@ class AblationReport:
                 for point in data.get("pareto", [])
             ],
             speedups=dict(data.get("speedups", {})),
+            backend=data.get("backend", "stepped"),
         )
 
 
@@ -156,6 +169,7 @@ def matrix_jobs(
     matrix: RunMatrix,
     params: WorkloadParams = DEFAULT_PARAMS,
     guard: bool = False,
+    backend: str = "stepped",
 ) -> List[SimulationJob]:
     """Every (scene, run) cell as a content-addressed job.
 
@@ -166,7 +180,8 @@ def matrix_jobs(
     for scene in matrix.space.scene_names():
         for run in matrix.runs:
             job = SimulationJob.from_params(
-                scene, run.config, params=params, strategy=run.strategy
+                scene, run.config, params=params, strategy=run.strategy,
+                backend=backend,
             )
             if guard:
                 job = replace(job, guard=True)
@@ -196,6 +211,7 @@ def execute_matrix(
     guard: bool = False,
     cache=None,
     service=None,
+    backend: str = "stepped",
 ) -> AblationReport:
     """Run every cell and derive importance + Pareto.
 
@@ -207,7 +223,7 @@ def execute_matrix(
     ``http://host:port`` URL.  With neither, cells run serially
     in-process.
     """
-    jobs = matrix_jobs(matrix, params=params, guard=guard)
+    jobs = matrix_jobs(matrix, params=params, guard=guard, backend=backend)
     if service is not None:
         if isinstance(service, str):
             from repro.service.client import ServiceClient
@@ -228,7 +244,7 @@ def execute_matrix(
             results = report.results
         else:
             results = [job.run() for job in jobs]
-    return _assemble(matrix, params, guard, results)
+    return _assemble(matrix, params, guard, results, backend=backend)
 
 
 def run_space(
@@ -238,11 +254,12 @@ def run_space(
     guard: bool = False,
     cache=None,
     service=None,
+    backend: str = "stepped",
 ) -> AblationReport:
     """Expand ``space`` and execute it (the one-call entry point)."""
     return execute_matrix(
         generate_matrix(space), params=params, guard=guard,
-        cache=cache, service=service,
+        cache=cache, service=service, backend=backend,
     )
 
 
@@ -251,6 +268,7 @@ def _assemble(
     params: WorkloadParams,
     guard: bool,
     results: List[SimulationResult],
+    backend: str = "stepped",
 ) -> AblationReport:
     """Fold flat scene-major results into the derived report."""
     scenes = matrix.space.scene_names()
@@ -296,6 +314,7 @@ def _assemble(
         importance=importance,
         pareto=frontier,
         speedups=speedups,
+        backend=backend,
     )
 
 

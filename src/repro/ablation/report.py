@@ -58,7 +58,10 @@ def render_sweep(report: AblationReport) -> str:
     title = (
         f"[sweep: space {report.space.name!r}, {len(report.runs)} design "
         f"points x {len(report.space.scene_names())} scenes"
-        + (", guarded]" if report.guard else "]")
+        + (", guarded" if report.guard else "")
+        + (f", {report.backend} backend" if report.backend != "stepped"
+           else "")
+        + "]"
     )
     table = format_table(headers, rows, title=title, precision=precision)
     if report.skipped:

@@ -73,6 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--config", default="RB_8+SH_8+SK+RA",
                      help="configuration label, e.g. RB_8 or RB_8+SH_8+SK+RA")
     _add_guard_args(sim)
+    _add_backend_arg(sim)
 
     cmp_cmd = sub.add_parser(
         "compare",
@@ -268,6 +269,16 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
                         "~/.cache/repro-sms or $REPRO_CACHE_DIR)")
     parser.add_argument("--progress", action="store_true",
                         help="draw a live progress line on stderr")
+    _add_backend_arg(parser)
+
+
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", choices=("stepped", "vector"),
+                        default="stepped",
+                        help="timing backend: the reference per-cycle loop "
+                        "('stepped') or the plan-driven vectorized core "
+                        "('vector', bit-identical and several times faster; "
+                        "falls back to stepped for unsupported configs)")
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -325,10 +336,16 @@ def _cmd_simulate(args) -> int:
         guard = GuardConfig(max_cycles=args.max_cycles)
     result = time_traces(
         workload.all_traces, named_config(args.config), scene_name=scene.name,
-        guard=guard,
+        guard=guard, backend=args.backend,
     )
     counters = result.counters
     print(f"config   : {result.label}")
+    if args.backend != "stepped" or result.backend != "stepped":
+        note = (
+            "" if result.backend == args.backend
+            else f" (requested {args.backend}, fell back)"
+        )
+        print(f"backend  : {result.backend}{note}")
     if guard is not None:
         budget = (
             f", max_cycles={args.max_cycles}" if args.max_cycles else ""
@@ -352,14 +369,18 @@ def _cmd_compare(args) -> int:
     scene, workload = _trace(args)
     labels = [label.strip() for label in args.configs.split(",") if label.strip()]
     results = [
-        time_traces(workload.all_traces, named_config(label), scene_name=scene.name)
+        time_traces(workload.all_traces, named_config(label),
+                    scene_name=scene.name, backend=args.backend)
         for label in labels
     ]
     base = results[0]
-    print(f"\n{'config':<20} {'IPC':>8} {'vs ' + base.label:>10} {'off-chip':>9}")
+    print(
+        f"\n{'config':<20} {'backend':>8} {'IPC':>8} "
+        f"{'vs ' + base.label:>10} {'off-chip':>9}"
+    )
     for result in results:
         print(
-            f"{result.label:<20} {result.ipc:>8.4f} "
+            f"{result.label:<20} {result.backend:>8} {result.ipc:>8.4f} "
             f"{result.ipc / base.ipc:>10.3f} {result.offchip_accesses:>9}"
         )
     return 0
@@ -385,6 +406,7 @@ def _cmd_compare_strategies(args) -> int:
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         progress=args.progress,
+        backend=args.backend,
     )
     result = compare_strategies.run(
         cache,
@@ -415,6 +437,7 @@ def _cmd_experiment(args) -> int:
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         progress=args.progress,
+        backend=args.backend,
     )
     if args.name.lower() == "all":
         for name, text in run_all(cache).items():
@@ -478,7 +501,8 @@ def _cmd_ablate_run(args) -> int:
     cache = None
     if args.service:
         report = execute_matrix(
-            matrix, params=params, guard=args.guard, service=args.service
+            matrix, params=params, guard=args.guard, service=args.service,
+            backend=args.backend,
         )
     else:
         from repro.runtime.cache import runtime_cache
@@ -489,9 +513,11 @@ def _cmd_ablate_run(args) -> int:
             use_cache=not args.no_cache,
             cache_dir=args.cache_dir,
             progress=args.progress,
+            backend=args.backend,
         )
         report = execute_matrix(
-            matrix, params=params, guard=args.guard, cache=cache
+            matrix, params=params, guard=args.guard, cache=cache,
+            backend=args.backend,
         )
     print(render_json(report) if args.format == "json" else render_text(report))
     if args.out:

@@ -19,6 +19,10 @@ class SimulationResult:
     counters: Counters
     depth_stats: Optional[DepthStats] = None
     ray_count: int = 0
+    #: The timing backend that actually executed (``"stepped"`` or
+    #: ``"vector"``) — informational provenance; outputs are
+    #: bit-identical across backends by contract.
+    backend: str = "stepped"
 
     @property
     def label(self) -> str:
@@ -56,6 +60,7 @@ class SimulationResult:
                 asdict(self.depth_stats) if self.depth_stats else None
             ),
             "ray_count": self.ray_count,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -73,6 +78,7 @@ class SimulationResult:
             counters=Counters.from_dict(data["counters"]),
             depth_stats=DepthStats(**depth) if depth else None,
             ray_count=data.get("ray_count", 0),
+            backend=data.get("backend", "stepped"),
         )
 
     def summary(self) -> str:

@@ -68,6 +68,10 @@ class WorkloadCache:
     max_bounces: Optional[int] = None
     #: LRU capacity of the traced-scene cache (``None`` = unbounded).
     max_traced: Optional[int] = None
+    #: Timing backend every simulation in this cache requests
+    #: (``"stepped"`` or ``"vector"``); backends are bit-identical by
+    #: contract, so this only changes wall-clock, never results.
+    backend: str = "stepped"
     #: Traced scenes evicted by the LRU bound since construction.
     evictions: int = 0
     _cache: "OrderedDict[str, TracedScene]" = field(
@@ -127,6 +131,7 @@ class WorkloadCache:
             config=config,
             scene_name=traced.scene.name,
             verify_pops=verify_pops,
+            backend=self.backend,
         )
 
     def sweep(

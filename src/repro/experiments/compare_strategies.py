@@ -82,6 +82,7 @@ def run(
     if not names:
         names = list(DEFAULT_STRATEGIES)
     config = base_config if base_config is not None else sms_config()
+    backend = getattr(cache, "backend", "stepped")
     # Scene-major job order keeps each scene's phase-one traces warm in
     # the per-process memo across its strategy cells.
     jobs = [
@@ -91,6 +92,7 @@ def run(
             params=cache.params,
             max_bounces=cache.max_bounces,
             strategy=name,
+            backend=backend,
         )
         for scene in cache.names
         for name in names
@@ -119,7 +121,7 @@ def run(
 
 
 #: Float digits for the per-scene table columns (see ``render``).
-_SCENE_PRECISION = (None, None, 4, 3, None, None, None, 1, 1, 2)
+_SCENE_PRECISION = (None, None, None, 4, 3, None, None, None, 1, 1, 2)
 #: Float digits for the aggregate table columns.
 _AGGREGATE_PRECISION = (None, 3, None, None, 1, 1, 2)
 
@@ -132,7 +134,7 @@ def render(result: StrategyComparison) -> str:
     rule for this table and the ablation reporter).
     """
     headers = [
-        "strategy", "config", "IPC", "vs " + result.strategies[0],
+        "strategy", "config", "backend", "IPC", "vs " + result.strategies[0],
         "cycles", "stack gbl", "stack shd", "L1D KB", "DRAM KB", "uJ",
     ]
     blocks: List[str] = []
@@ -146,6 +148,7 @@ def render(result: StrategyComparison) -> str:
             rows.append((
                 name,
                 cell.label,
+                cell.backend,
                 m["ipc"],
                 m["ipc"] / base["ipc"] if base["ipc"] else "-",
                 int(m["cycles"]),

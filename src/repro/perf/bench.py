@@ -16,10 +16,16 @@ Payload structure (``FORMAT_VERSION`` 1)::
       "machine": {"platform": ..., "python": ..., "numpy": ...},
       "calibration_s": 0.123,
       "results": {case: {"wall_s", "rays", "steps", "rays_per_s",
-                          "steps_per_s", "cycles", "cycles_per_s",
-                          "peak_rss_kb"}},
+                          "steps_per_s", "peak_rss_kb",
+                          # sim cases only:
+                          "cycles", "cycles_per_s", "backend"}},
       "totals": {"trace_wall_s": ..., "sim_wall_s": ...}
     }
+
+Trace cases have no simulated cycles, so their result records simply
+omit the ``cycles``/``cycles_per_s``/``backend`` keys (readers use
+``.get``); the regression gate compares calibrated wall times only and
+never looks at them.
 """
 
 from __future__ import annotations
@@ -230,8 +236,6 @@ def run_benchmarks(
             "steps": steps,
             "rays_per_s": len(traces) / best if best else 0.0,
             "steps_per_s": steps / best if best else 0.0,
-            "cycles": None,
-            "cycles_per_s": None,
             "peak_rss_kb": _peak_rss_kb(),
         }
         say(f"[bench:{tag}] {case.name}: {best:.3f}s "
@@ -271,7 +275,10 @@ def run_benchmarks(
         best = float("inf")
         output = None
         for _ in range(repeats):
-            simulator = GPUSimulator(config=config, strategy=case.strategy)
+            simulator = GPUSimulator(
+                config=config, strategy=case.strategy,
+                backend=case.backend or "stepped",
+            )
             start = time.perf_counter()
             output = simulator.run_traces(traces)
             best = min(best, time.perf_counter() - start)
@@ -285,6 +292,7 @@ def run_benchmarks(
             "steps_per_s": steps / best if best else 0.0,
             "cycles": cycles,
             "cycles_per_s": cycles / best if best else 0.0,
+            "backend": output.backend,
             "peak_rss_kb": _peak_rss_kb(),
         }
         say(f"[bench:{tag}] {case.name}: {best:.3f}s "

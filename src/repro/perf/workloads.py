@@ -26,7 +26,9 @@ from typing import Optional, Tuple
 #: across incompatible matrices fails loudly instead of silently.
 #: 2: benchmark cases gained the traversal-strategy axis plus the
 #: stackless sim case.
-MATRIX_VERSION = 2
+#: 3: sim cases gained the timing-backend axis (vector-core cases added)
+#: and trace-case results dropped their always-null cycles keys.
+MATRIX_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -40,6 +42,9 @@ class BenchCase:
     (sim cases) selects a non-default traversal strategy; its phase-one
     traces are regenerated from the source case's parameters outside the
     measured region, so the case still times only the replay.
+    ``backend`` (sim cases) selects the timing backend; ``None`` is the
+    reference stepped loop.  Backends are bit-identical by contract, so
+    a ``vector`` case measures the same simulation, just its wall time.
     """
 
     name: str
@@ -53,6 +58,7 @@ class BenchCase:
     config: Optional[str] = None  # sim cases: configuration label
     source: Optional[str] = None  # sim cases: trace case supplying traces
     strategy: Optional[str] = None  # sim cases: traversal strategy override
+    backend: Optional[str] = None  # sim cases: timing backend (None=stepped)
 
 
 #: The reference matrix every ``BENCH_*.json`` measures.
@@ -71,4 +77,11 @@ REFERENCE_MATRIX: Tuple[BenchCase, ...] = (
               config="RB_8+SH_8", source="trace:BUNNY"),
     BenchCase(name="sim:CRNVL/stackless", kind="sim", scene="CRNVL",
               config="RB_8", source="trace:CRNVL", strategy="stackless"),
+    BenchCase(name="sim:CRNVL/RB_8/vector", kind="sim", scene="CRNVL",
+              config="RB_8", source="trace:CRNVL", backend="vector"),
+    BenchCase(name="sim:CRNVL/RB_8+SH_8+SK+RA/vector", kind="sim",
+              scene="CRNVL", config="RB_8+SH_8+SK+RA", source="trace:CRNVL",
+              backend="vector"),
+    BenchCase(name="sim:BUNNY/RB_8+SH_8/vector", kind="sim", scene="BUNNY",
+              config="RB_8+SH_8", source="trace:BUNNY", backend="vector"),
 )

@@ -59,6 +59,7 @@ class CachedWorkloadCache(WorkloadCache):
             params=self.params,
             max_bounces=self.max_bounces,
             verify_pops=verify_pops,
+            backend=self.backend,
         )
 
     def simulate(
@@ -74,6 +75,11 @@ class CachedWorkloadCache(WorkloadCache):
                 return hit
         result = super().simulate(name, config, verify_pops)
         self.metrics.simulated += 1
+        backend = getattr(result, "backend", None)
+        if backend:
+            self.metrics.backends[backend] = (
+                self.metrics.backends.get(backend, 0) + 1
+            )
         if self.store is not None:
             self.store.put(job.key(), result, spec=job.spec())
         return result
@@ -121,6 +127,7 @@ def runtime_cache(
     timeout: Optional[float] = None,
     progress: bool = False,
     max_traced: Optional[int] = None,
+    backend: str = "stepped",
 ) -> CachedWorkloadCache:
     """Build a :class:`CachedWorkloadCache` from user-facing knobs.
 
@@ -128,9 +135,11 @@ def runtime_cache(
     worker count (``None`` auto-sizes, ``1`` forces serial),
     ``use_cache=False`` drops the persistent store entirely,
     ``cache_dir`` overrides the store location (default
-    ``~/.cache/repro-sms`` or ``$REPRO_CACHE_DIR``), and ``max_traced``
+    ``~/.cache/repro-sms`` or ``$REPRO_CACHE_DIR``), ``max_traced``
     LRU-bounds the in-memory traced-scene cache (``None`` = unbounded;
-    long-running service processes set a bound).
+    long-running service processes set a bound), and ``backend``
+    selects the timing backend every job requests (``"stepped"`` or
+    ``"vector"`` — bit-identical results, different wall-clock).
     """
     from repro.workloads.params import DEFAULT_PARAMS
 
@@ -138,6 +147,7 @@ def runtime_cache(
         params=params or DEFAULT_PARAMS,
         scene_names=scene_names,
         max_traced=max_traced,
+        backend=backend,
         store=ResultStore(cache_dir) if use_cache else None,
         policy=ExecutionPolicy(workers=jobs, timeout=timeout,
                                progress=progress),

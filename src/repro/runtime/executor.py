@@ -172,6 +172,9 @@ def _record(state, value, results, store, metrics) -> None:
     for index in state.indices:
         results[index] = value
     metrics.simulated += 1
+    backend = getattr(value, "backend", None)
+    if backend:
+        metrics.backends[backend] = metrics.backends.get(backend, 0) + 1
     if store is not None and hasattr(value, "to_dict"):
         spec = state.job.spec() if hasattr(state.job, "spec") else None
         store.put(state.key, value, spec=spec)

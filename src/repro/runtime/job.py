@@ -28,7 +28,9 @@ from repro.workloads.params import DEFAULT_PARAMS, WorkloadParams
 
 #: Bump when the stored-result layout changes incompatibly.
 #: 2: job specs gained the traversal-strategy field.
-CACHE_SCHEMA_VERSION = 2
+#: 3: job specs gained the timing-backend field and stored results
+#:    record which backend executed.
+CACHE_SCHEMA_VERSION = 3
 
 #: Traced workloads memoized per process (see :func:`_workload_traces`).
 #: ``REPRO_TRACE_MEMO`` overrides the capacity — long-running service
@@ -63,11 +65,19 @@ def cache_salt() -> str:
 
     Combines the package version with the store schema version; the
     ``REPRO_CACHE_SALT`` environment variable is appended when set (handy
-    for forcing a cold sweep without touching the store on disk).
+    for forcing a cold sweep without touching the store on disk).  The
+    geometry scale (``REPRO_BENCH_SCALE``, see
+    :func:`repro.workloads.lumibench.bench_scale`) is folded in too:
+    scaled scenes are different workloads, so their results must never
+    satisfy a reduced-scale job's content address (or vice versa).
     """
     import repro
+    from repro.workloads.lumibench import bench_scale
 
     salt = f"repro-{repro.__version__}/schema-{CACHE_SCHEMA_VERSION}"
+    scale = bench_scale()
+    if scale is not None:
+        salt = f"{salt}/geo-{scale:g}"
     extra = os.environ.get("REPRO_CACHE_SALT")
     return f"{salt}/{extra}" if extra else salt
 
@@ -99,6 +109,12 @@ class SimulationJob:
     #: content address: both phases depend on it — the recorded traces
     #: (stackless re-traces, reorder permutes) and the timing replay.
     strategy: str = "sms"
+    #: Timing backend (``"stepped"`` or ``"vector"``).  Backends are
+    #: bit-identical by contract, but the field is still part of the
+    #: content address: a cached result records *how* it was produced,
+    #: and keeping the addresses distinct means a backend-parity bug can
+    #: never silently satisfy a stepped request from a vector result.
+    backend: str = "stepped"
 
     @classmethod
     def from_params(
@@ -109,6 +125,7 @@ class SimulationJob:
         max_bounces: Optional[int] = None,
         verify_pops: bool = False,
         strategy: str = "sms",
+        backend: str = "stepped",
     ) -> "SimulationJob":
         """Build a job resolving the two-tier resolution scheme.
 
@@ -129,6 +146,7 @@ class SimulationJob:
             seed=params.seed,
             verify_pops=verify_pops,
             strategy=strategy,
+            backend=backend,
         )
 
     def spec(self) -> Dict:
@@ -149,6 +167,7 @@ class SimulationJob:
             "guard": self.guard,
             "max_cycles": self.max_cycles,
             "strategy": self.strategy,
+            "backend": self.backend,
             "salt": cache_salt(),
         }
 
@@ -181,6 +200,7 @@ class SimulationJob:
             verify_pops=self.verify_pops,
             guard=guard,
             strategy=self.strategy,
+            backend=self.backend,
         )
 
     def describe(self) -> str:
@@ -188,6 +208,8 @@ class SimulationJob:
         label = f"{self.scene}/{self.config.describe()}"
         if self.strategy != "sms":
             label += f"[{self.strategy}]"
+        if self.backend != "stepped":
+            label += f"@{self.backend}"
         return label
 
 
@@ -200,11 +222,12 @@ def _workload_traces(job: SimulationJob) -> Tuple[str, List]:
     its name, so strategies that record identical streams share entries.
     """
     from repro.traversal.registry import resolve_strategy
+    from repro.workloads.lumibench import bench_scale
 
     strategy = resolve_strategy(job.strategy)
     memo_key = (
         job.scene, job.width, job.height, job.spp, job.max_bounces, job.seed,
-        strategy.trace_key(),
+        strategy.trace_key(), bench_scale(),
     )
     cached = _TRACE_MEMO.get(memo_key)
     if cached is not None:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 
 @dataclass
@@ -45,6 +45,11 @@ class RuntimeMetrics:
     job_seconds: List[float] = field(default_factory=list)
     #: Wall-clock seconds for the whole run.
     elapsed_seconds: float = 0.0
+    #: Simulated jobs per *effective* timing backend (what actually ran,
+    #: after any vector-to-stepped fallback) — e.g. ``{"vector": 12,
+    #: "stepped": 3}``.  Cache hits and dedups are not counted; only
+    #: fresh simulations say anything about backend usage.
+    backends: Dict[str, int] = field(default_factory=dict)
 
     @property
     def done(self) -> int:
@@ -86,6 +91,8 @@ class RuntimeMetrics:
         self.failed += other.failed
         self.job_seconds.extend(other.job_seconds)
         self.elapsed_seconds += other.elapsed_seconds
+        for backend, count in other.backends.items():
+            self.backends[backend] = self.backends.get(backend, 0) + count
         return self
 
     def summary(self) -> str:
@@ -97,6 +104,12 @@ class RuntimeMetrics:
         ]
         if self.deduplicated:
             parts.append(f"{self.deduplicated} deduplicated")
+        if self.backends:
+            breakdown = "/".join(
+                f"{count} {backend}"
+                for backend, count in sorted(self.backends.items())
+            )
+            parts.append(f"backends {breakdown}")
         if self.retries:
             parts.append(
                 f"{self.retries} retries "

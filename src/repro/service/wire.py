@@ -21,7 +21,7 @@ from repro.runtime.job import SimulationJob
 #: SimulationJob fields a submission may set (everything but the config).
 _JOB_FIELDS = (
     "scene", "width", "height", "spp", "max_bounces", "seed",
-    "verify_pops", "guard", "max_cycles", "strategy",
+    "verify_pops", "guard", "max_cycles", "strategy", "backend",
 )
 
 

@@ -22,11 +22,27 @@ is rejected here instead.
 The rule fires on any class whose ``run`` method guards a branch on a
 ``fast_forward`` attribute, which makes it testable on miniature
 fixtures and automatically covers future RT-unit variants.
+
+PR 9 adds a second obligation for whole-backend parity (stepped ≡
+vector).  A timing backend that reimplements the RT unit cannot share
+the stepped loop's write surface — it has its own ``run`` — so instead
+it *declares its oracle*: a class-level
+
+    COUNTER_PARITY_ORACLE = "../counters.py"
+
+names the file whose counter dataclass defines the complete counter
+surface, and the rule then requires every declared field (minus an
+optional ``COUNTER_PARITY_EXEMPT`` tuple) to be written somewhere in the
+call graph reachable from the class's ``run``.  A counter the backend
+never touches is exactly the kind of silent divergence the runtime
+equivalence tests only catch when a workload happens to exercise it —
+here it is a static finding the moment the write is dropped.
 """
 
 from __future__ import annotations
 
 import ast
+from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.simlint.model import Finding
@@ -48,7 +64,12 @@ class FastForwardParityRule(Rule):
         "divergence the runtime equivalence tests can miss (they sample "
         "workloads; this is a property of the code).  Writes must be a "
         "subset of the stepped path's writes — new fast-forward "
-        "bookkeeping needs a stepped-path counterpart or a redesign."
+        "bookkeeping needs a stepped-path counterpart or a redesign.  "
+        "Alternative timing backends declare a COUNTER_PARITY_ORACLE "
+        "instead: every counter field the oracle file defines must be "
+        "written by code reachable from the backend's run(), so a "
+        "counter the backend silently stops maintaining is a lint error "
+        "rather than a workload-dependent test escape."
     )
 
     def check(self, ctx) -> Iterator[Finding]:
@@ -65,24 +86,69 @@ class FastForwardParityRule(Rule):
             if run is None:
                 continue
             split = _split_fast_forward(run)
-            if split is None:
+            if split is not None:
+                ff_stmts, stepped_stmts, anchor = split
+                graph = _CallGraph(ctx.tree, node, run)
+                ff_writes = graph.reachable_writes(ff_stmts)
+                stepped_writes = graph.reachable_writes(stepped_stmts)
+                outside_reads = _name_reads(run, skip=anchor)
+                for key in sorted(ff_writes - stepped_writes):
+                    if "." not in key and key not in outside_reads:
+                        # A bare local the rest of run() never reads is
+                        # branch-private scratch, not shared schedule
+                        # state.
+                        continue
+                    yield ctx.finding(
+                        self, anchor,
+                        f"class {node.name}: fast-forward drain writes "
+                        f"`{key}` but the stepped loop never does — the "
+                        f"two schedules can diverge",
+                    )
+            yield from self._check_counter_oracle(ctx, node, run)
+
+    def _check_counter_oracle(
+        self, ctx, node: ast.ClassDef, run: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        """Backend parity: ``run`` must write every oracle counter field.
+
+        Applies only to classes that opt in with a class-level
+        ``COUNTER_PARITY_ORACLE = "<relative path>"`` declaration (the
+        vector backend's :class:`~repro.gpu.vector.unit.VectorRTUnit`).
+        The oracle path resolves relative to the linted file, so the
+        check follows the source tree wherever it is checked out.
+        """
+        oracle = _class_literal(node, "COUNTER_PARITY_ORACLE")
+        if oracle is None:
+            return
+        anchor, relpath = oracle
+        fields = (
+            _oracle_fields(Path(ctx.path).parent / relpath)
+            if isinstance(relpath, str)
+            else None
+        )
+        if fields is None:
+            yield ctx.finding(
+                self, anchor,
+                f"class {node.name}: counter-parity oracle {relpath!r} "
+                f"could not be read or declares no counter fields",
+            )
+            return
+        exempt: Set[str] = set()
+        declared = _class_literal(node, "COUNTER_PARITY_EXEMPT")
+        if declared is not None and isinstance(declared[1], (tuple, list)):
+            exempt = {item for item in declared[1] if isinstance(item, str)}
+        graph = _CallGraph(ctx.tree, node, run)
+        writes = graph.reachable_writes(run.body)
+        for field in fields:
+            if field in exempt or _writes_counter(writes, field):
                 continue
-            ff_stmts, stepped_stmts, anchor = split
-            graph = _CallGraph(ctx.tree, node, run)
-            ff_writes = graph.reachable_writes(ff_stmts)
-            stepped_writes = graph.reachable_writes(stepped_stmts)
-            outside_reads = _name_reads(run, skip=anchor)
-            for key in sorted(ff_writes - stepped_writes):
-                if "." not in key and key not in outside_reads:
-                    # A bare local the rest of run() never reads is
-                    # branch-private scratch, not shared schedule state.
-                    continue
-                yield ctx.finding(
-                    self, anchor,
-                    f"class {node.name}: fast-forward drain writes "
-                    f"`{key}` but the stepped loop never does — the two "
-                    f"schedules can diverge",
-                )
+            yield ctx.finding(
+                self, anchor,
+                f"class {node.name}: oracle {relpath} declares counter "
+                f"`{field}` but no code reachable from run() writes "
+                f"`counters.{field}` — the backends can silently "
+                f"diverge",
+            )
 
 
 def _split_fast_forward(
@@ -129,6 +195,66 @@ def _name_reads(run: ast.FunctionDef, skip: ast.AST) -> Set[str]:
 
     visit(run)
     return reads
+
+
+def _class_literal(
+    cls: ast.ClassDef, name: str
+) -> Optional[Tuple[ast.AST, object]]:
+    """A class-level ``name = <literal>`` declaration, if present.
+
+    Returns the assignment node (the finding anchor) and the evaluated
+    literal — or ``(node, None)`` when the value is not a pure literal,
+    which callers treat the same as an unreadable declaration.
+    """
+    for stmt in cls.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == name
+        ):
+            try:
+                return stmt, ast.literal_eval(stmt.value)
+            except ValueError:
+                return stmt, None
+    return None
+
+
+def _oracle_fields(path: Path) -> Optional[List[str]]:
+    """Counter field names the oracle file declares, or ``None``.
+
+    The counter surface is the first class in the file carrying
+    annotated field declarations (the ``Counters`` dataclass); a file
+    that cannot be read or parsed, or that holds no such class, yields
+    ``None`` so the caller reports the oracle itself as broken.
+    """
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError, ValueError):
+        return None
+    for cls in tree.body:
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        fields = [
+            stmt.target.id
+            for stmt in cls.body
+            if isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+        ]
+        if fields:
+            return fields
+    return None
+
+
+def _writes_counter(writes: Set[str], field: str) -> bool:
+    """Does any write key store to ``counters.<field>``?
+
+    Matches both the ``self.counters.x`` spelling and writes through a
+    local alias (``counters = self.counters; counters.x += n``), which
+    is how the hot paths spell it.
+    """
+    leaf = f"counters.{field}"
+    return any(key == leaf or key.endswith("." + leaf) for key in writes)
 
 
 def _mentions_fast_forward(test: ast.AST) -> bool:

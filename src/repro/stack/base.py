@@ -22,6 +22,16 @@ ENTRY_BYTES = 8
 class StackModel(ABC):
     """Per-warp traversal stack manager."""
 
+    #: Whether the vector timing backend may replay this model once on
+    #: a canonical (slot 0, SM 0) instance and reuse the resulting op
+    #: chains for every warp slot.  A model may only opt in when its
+    #: push/pop behaviour is slot-invariant: shared-memory addresses may
+    #: shift only by a bank-row multiple per slot and global spill
+    #: addresses only by a whole ``warp_bytes`` window (see
+    #: :mod:`repro.gpu.vector.plan`).  Models that keep cross-warp
+    #: state (e.g. inter-warp reallocation views) must stay ``False``.
+    vector_replayable = False
+
     def __init__(self, warp_size: int = 32) -> None:
         if warp_size <= 0:
             raise StackError("warp size must be positive")

@@ -32,6 +32,10 @@ from repro.stack.spill import SPILL_BASE_ADDRESS, SpillRegion
 class BaselineStack(StackModel):
     """RB_N short stack with direct global-memory overflow."""
 
+    #: Spill addresses shift by whole warp windows per slot; no shared
+    #: memory involved — safe for canonical vector replay.
+    vector_replayable = True
+
     def __init__(
         self,
         rb_entries: int = 8,

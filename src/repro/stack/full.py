@@ -14,3 +14,6 @@ from repro.stack.reference import ReferenceStack
 
 class FullStack(ReferenceStack):
     """Unbounded on-chip stack; generates no memory operations."""
+
+    #: No memory ops at all — trivially slot-invariant for vector replay.
+    vector_replayable = True

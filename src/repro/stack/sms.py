@@ -144,6 +144,11 @@ class _Region:
 class SmsStack(StackModel):
     """The SMS hierarchical stack (RB + SH + global)."""
 
+    #: Slot-invariant by construction: the SH layout base is a bank-row
+    #: multiple per slot and spills shift by whole warp windows, so the
+    #: vector backend may replay a canonical slot-0 instance.
+    vector_replayable = True
+
     def __init__(
         self,
         rb_entries: int = 8,
@@ -580,3 +585,29 @@ class SmsStack(StackModel):
         """Number of SH regions (own + borrowed) in ``lane``'s chain."""
         self._check_lane(lane)
         return len(self._chain[lane])
+
+    def soa_state(self) -> dict:
+        """Warp-wide occupancy as contiguous arrays (SoA view).
+
+        One array per stack tier — RB, SH (own + borrowed) and global
+        spill entries per lane — for whole-warp invariant checks and
+        diagnostics without a per-lane Python call per query.  Used by
+        the vector backend's plan sampler
+        (:class:`repro.guard.vector.VectorPlanSampler`).
+        """
+        import numpy as np
+
+        warp_size = self.warp_size
+        sh = np.fromiter(
+            (self._sh_count(lane) for lane in range(warp_size)),
+            dtype=np.int64, count=warp_size,
+        )
+        spilled = np.fromiter(
+            (len(self._spilled[lane]) for lane in range(warp_size)),
+            dtype=np.int64, count=warp_size,
+        )
+        rb = np.fromiter(
+            (len(self._rb[lane]) for lane in range(warp_size)),
+            dtype=np.int64, count=warp_size,
+        )
+        return {"rb": rb, "sh": sh, "global": spilled}

@@ -59,7 +59,19 @@ class RayTrace:
     equality semantics match the dataclass it replaced.
     """
 
-    __slots__ = ("ray_id", "pixel", "kind", "steps", "hit_prim", "hit_t")
+    #: ``_vector_cache`` holds derived, recomputable artifacts of the
+    #: vector timing backend (:mod:`repro.gpu.vector`): the SoA mirror
+    #: and per-warp replay plans.  It is excluded from pickling and from
+    #: equality — two traces with equal event streams are equal whether
+    #: or not either has been vector-planned.
+    __slots__ = (
+        "ray_id", "pixel", "kind", "steps", "hit_prim", "hit_t",
+        "_vector_cache",
+    )
+
+    #: Slots that carry trace *content* (pickled, compared, repr'd);
+    #: everything else is a derived cache rebuilt on demand.
+    _STATE_SLOTS = ("ray_id", "pixel", "kind", "steps", "hit_prim", "hit_t")
 
     def __init__(
         self,
@@ -76,6 +88,13 @@ class RayTrace:
         self.steps = [] if steps is None else steps
         self.hit_prim = hit_prim
         self.hit_t = hit_t
+
+    def __getstate__(self) -> dict:
+        return {name: getattr(self, name) for name in self._STATE_SLOTS}
+
+    def __setstate__(self, state: dict) -> None:
+        for name in self._STATE_SLOTS:
+            setattr(self, name, state[name])
 
     def __repr__(self) -> str:
         return (

@@ -58,6 +58,10 @@ class StacklessState(StackModel):
     #: No per-lane traversal stack exists under this strategy.
     has_stack = False
 
+    #: Stackless traces carry no pushes/pops, so the canonical vector
+    #: replay never touches this model — trivially slot-invariant.
+    vector_replayable = True
+
     def push(self, lane: int, value: int) -> StackActivity:
         self._check_lane(lane)
         raise StackError(

@@ -14,16 +14,30 @@ character* rather than its appearance:
   bounds, giving the high leaf-access ratio the paper calls out;
 * ROBOT, CAR, PARK — the heavyweights with the deepest stack demand.
 
-Triangle counts are ~1:100 of Table II (capped for build time), which
-DESIGN.md records as a substitution; the depth statistics the paper
-derives from these workloads (Figs. 4 and 5) are regenerated and compared
-in EXPERIMENTS.md.
+Triangle counts default to ~1:100 of Table II (capped for build time),
+which DESIGN.md records as a substitution; the depth statistics the
+paper derives from these workloads (Figs. 4 and 5) are regenerated and
+compared in EXPERIMENTS.md.
+
+**Full-scale runs.** Every builder takes a *density* multiplier, and
+each recipe records the ``full_density`` that brings it back up to its
+Table II triangle count.  Setting ``REPRO_BENCH_SCALE=1.0`` makes
+:func:`load_scene` generate scenes at the paper's true sizes (0.2M-20.6M
+triangles); fractions interpolate (``0.1`` = 10% of the paper count,
+floored at the default reduced size).  Density 1.0 reproduces the
+reduced scenes bit-identically — same generator calls, same seeds — so
+the default behavior (variable unset) is byte-stable.  The scale is
+folded into the result-store cache salt
+(:func:`repro.runtime.job.cache_salt`), so scaled and reduced results
+can never satisfy each other's content addresses.
 """
 
 from __future__ import annotations
 
+import math
+import os
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -39,19 +53,83 @@ from repro.scene.generators import (
 )
 from repro.scene.scene import Scene
 
+#: Environment variable selecting the geometry scale (fraction of the
+#: paper's Table II triangle counts).  Values below 1.0 are the
+#: benchmark suite's resolution smoke knob (``benchmarks/conftest.py``)
+#: and leave geometry at the reduced default; ``1.0`` and above rebuild
+#: every recipe at (scale x) the paper's true counts.
+BENCH_SCALE_ENV = "REPRO_BENCH_SCALE"
+
+
+def bench_scale() -> Optional[float]:
+    """The requested geometry scale, or ``None`` for the reduced default.
+
+    Only scales of 1.0 and above select paper-true geometry: sub-1.0
+    values keep the historical smoke-run meaning (shrink benchmark
+    *resolution*, geometry untouched), so ``REPRO_BENCH_SCALE=0.4``
+    stays a quick pass rather than a 40x triangle blow-up.  Invalid or
+    non-positive values are treated as unset rather than raising — an
+    experiment sweep should not die on a malformed environment
+    variable.
+    """
+    raw = os.environ.get(BENCH_SCALE_ENV)
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value >= 1.0 else None
+
+
+def _count(base: int, density: float) -> int:
+    """Linear scaling for primitive counts (scatter, slivers, leaves)."""
+    return max(base, int(round(base * density)))
+
+
+def _axis(base: int, density: float) -> int:
+    """Grid-axis scaling: grid triangles go with the *square* of it."""
+    return max(base, int(round(base * math.sqrt(density))))
+
+
+def _subdiv(base: int, density: float) -> int:
+    """Blob subdivision scaling: triangles go with ``4**subdivisions``.
+
+    Capped at +5 levels — beyond that a single blob dominates the whole
+    scene budget and the build time explodes.
+    """
+    if density <= 1.0:
+        return base
+    return base + min(5, int(round(math.log(density, 4))))
+
 
 @dataclass(frozen=True)
 class SceneRecipe:
     """How one benchmark scene is generated."""
 
     name: str
-    builder: Callable[[], np.ndarray]
+    builder: Callable[[float], np.ndarray]
     paper_triangles: str  # Table II's count, for the report
     paper_bvh_mb: float   # Table II's BVH size
     complex_scene: bool = False  # CHSNT/ROBOT/PARK run at reduced scale
+    #: Density multiplier that brings the reduced recipe up to its
+    #: Table II triangle count (paper count / reduced count).
+    full_density: float = 1.0
+
+    def density_for(self, scale: Optional[float]) -> float:
+        """The builder density for one requested geometry scale.
+
+        ``None`` (variable unset or below 1.0) is the reduced default;
+        a scale of 1.0 or more multiplies up to (scale x) the paper's
+        count, floored at 1.0 so a recipe can never drop below the
+        reduced baseline.
+        """
+        if scale is None or scale < 1.0:
+            return 1.0
+        return max(1.0, scale * self.full_density)
 
 
-def _wknd() -> np.ndarray:
+def _wknd(density: float = 1.0) -> np.ndarray:
     # Table II lists 0 triangles (procedural sky/spheres); a couple of
     # coarse blobs keep traversal trivially shallow, like the original.
     return merge_meshes([
@@ -61,44 +139,49 @@ def _wknd() -> np.ndarray:
     ])
 
 
-def _sprng() -> np.ndarray:
+def _sprng(density: float = 1.0) -> np.ndarray:
     # Spring meadow: dense low clutter over terrain.
     return merge_meshes([
-        grid_mesh(20, 20, size=16.0, height_amplitude=0.6, seed=20),
-        scatter_mesh(18000, bounds_size=14.0, triangle_size=0.28,
-                     clusters=30, seed=21),
+        grid_mesh(_axis(20, density), _axis(20, density), size=16.0,
+                  height_amplitude=0.6, seed=20),
+        scatter_mesh(_count(18000, density), bounds_size=14.0,
+                     triangle_size=0.28, clusters=30, seed=21),
     ])
 
 
-def _fox() -> np.ndarray:
+def _fox(density: float = 1.0) -> np.ndarray:
     # Organic hero model: bumpy blobs at several scales.
     return merge_meshes([
-        blob_mesh((0, 1, 0), 2.2, subdivisions=4, bumpiness=0.25, seed=30),
-        blob_mesh((1.8, 0.6, 1.0), 1.0, subdivisions=3, bumpiness=0.3, seed=31),
-        blob_mesh((-1.5, 0.5, -0.8), 0.8, subdivisions=3, bumpiness=0.3, seed=32),
-        grid_mesh(14, 14, size=12.0, seed=33),
+        blob_mesh((0, 1, 0), 2.2, subdivisions=_subdiv(4, density),
+                  bumpiness=0.25, seed=30),
+        blob_mesh((1.8, 0.6, 1.0), 1.0, subdivisions=_subdiv(3, density),
+                  bumpiness=0.3, seed=31),
+        blob_mesh((-1.5, 0.5, -0.8), 0.8, subdivisions=_subdiv(3, density),
+                  bumpiness=0.3, seed=32),
+        grid_mesh(_axis(14, density), _axis(14, density), size=12.0, seed=33),
     ])
 
 
-def _lands() -> np.ndarray:
+def _lands(density: float = 1.0) -> np.ndarray:
     # Rolling landscape with rock clutter.
     return merge_meshes([
-        grid_mesh(90, 90, size=30.0, height_amplitude=2.5, seed=40),
-        scatter_mesh(14000, bounds_size=26.0, triangle_size=0.55,
-                     clusters=40, seed=41),
+        grid_mesh(_axis(90, density), _axis(90, density), size=30.0,
+                  height_amplitude=2.5, seed=40),
+        scatter_mesh(_count(14000, density), bounds_size=26.0,
+                     triangle_size=0.55, clusters=40, seed=41),
     ])
 
 
-def _crnvl() -> np.ndarray:
+def _crnvl(density: float = 1.0) -> np.ndarray:
     # Carnival: mid-size clutter, moderate overlap.
     return merge_meshes([
-        grid_mesh(10, 10, size=14.0, seed=50),
-        scatter_mesh(4200, bounds_size=12.0, triangle_size=0.45,
-                     clusters=12, seed=51),
+        grid_mesh(_axis(10, density), _axis(10, density), size=14.0, seed=50),
+        scatter_mesh(_count(4200, density), bounds_size=12.0,
+                     triangle_size=0.45, clusters=12, seed=51),
     ])
 
 
-def _spnza() -> np.ndarray:
+def _spnza(density: float = 1.0) -> np.ndarray:
     # Sponza-style atrium: nested boxes (walls, columns), few props.
     rng = np.random.default_rng(60)
     parts: List[np.ndarray] = [
@@ -112,110 +195,120 @@ def _spnza() -> np.ndarray:
     for _ in range(24):  # props
         pos = rng.uniform([-7, 0.2, -4], [7, 1.0, 4])
         parts.append(box_mesh(pos, rng.uniform(0.3, 1.2, size=3)))
-    parts.append(scatter_mesh(2200, bounds_size=12.0, triangle_size=0.3,
-                              clusters=8, seed=61))
+    parts.append(scatter_mesh(_count(2200, density), bounds_size=12.0,
+                              triangle_size=0.3, clusters=8, seed=61))
     return merge_meshes(parts)
 
 
-def _bath() -> np.ndarray:
+def _bath(density: float = 1.0) -> np.ndarray:
     # Bathroom: a tight room with fixtures; shallow traversal.
     rng = np.random.default_rng(70)
     parts = [box_mesh((0, 1.5, 0), (6, 3, 5))]
     for _ in range(16):
         pos = rng.uniform([-2.5, 0.2, -2.0], [2.5, 1.2, 2.0])
         parts.append(box_mesh(pos, rng.uniform(0.2, 0.9, size=3)))
-    parts.append(blob_mesh((0, 0.8, 0), 0.7, subdivisions=3, seed=71))
-    parts.append(scatter_mesh(3600, bounds_size=5.0, triangle_size=0.05,
-                              clusters=24, seed=72))
+    parts.append(blob_mesh((0, 0.8, 0), 0.7,
+                           subdivisions=_subdiv(3, density), seed=71))
+    parts.append(scatter_mesh(_count(3600, density), bounds_size=5.0,
+                              triangle_size=0.05, clusters=24, seed=72))
     return merge_meshes(parts)
 
 
-def _robot() -> np.ndarray:
+def _robot(density: float = 1.0) -> np.ndarray:
     # Heaviest scene: dense multi-scale clusters, deep divergent BVH.
     return merge_meshes([
-        scatter_mesh(40000, bounds_size=12.0, triangle_size=0.6,
-                     clusters=26, seed=80),
-        scatter_mesh(16000, bounds_size=5.0, triangle_size=0.9,
-                     clusters=6, seed=81),
-        blob_mesh((0, 0, 0), 2.5, subdivisions=4, bumpiness=0.4, seed=82),
+        scatter_mesh(_count(40000, density), bounds_size=12.0,
+                     triangle_size=0.6, clusters=26, seed=80),
+        scatter_mesh(_count(16000, density), bounds_size=5.0,
+                     triangle_size=0.9, clusters=6, seed=81),
+        blob_mesh((0, 0, 0), 2.5, subdivisions=_subdiv(4, density),
+                  bumpiness=0.4, seed=82),
     ])
 
 
-def _car() -> np.ndarray:
+def _car(density: float = 1.0) -> np.ndarray:
     # Dense hero asset: layered shells plus fine clutter.
     return merge_meshes([
-        blob_mesh((0, 1, 0), 2.8, subdivisions=5, bumpiness=0.15, seed=90),
-        scatter_mesh(26000, bounds_size=8.0, triangle_size=0.6,
-                     clusters=14, seed=91),
-        grid_mesh(12, 12, size=14.0, seed=92),
+        blob_mesh((0, 1, 0), 2.8, subdivisions=_subdiv(5, density),
+                  bumpiness=0.15, seed=90),
+        scatter_mesh(_count(26000, density), bounds_size=8.0,
+                     triangle_size=0.6, clusters=14, seed=91),
+        grid_mesh(_axis(12, density), _axis(12, density), size=14.0, seed=92),
     ])
 
 
-def _party() -> np.ndarray:
+def _party(density: float = 1.0) -> np.ndarray:
     # Party: the Fig. 10 scene — mixed clutter, strongly divergent depths.
     return merge_meshes([
         box_mesh((0, 2.5, 0), (14, 5, 12)),
-        scatter_mesh(12000, bounds_size=11.0, triangle_size=0.65,
-                     clusters=18, seed=100),
-        scatter_mesh(4500, bounds_size=11.0, triangle_size=0.15,
-                     clusters=40, seed=101),
+        scatter_mesh(_count(12000, density), bounds_size=11.0,
+                     triangle_size=0.65, clusters=18, seed=100),
+        scatter_mesh(_count(4500, density), bounds_size=11.0,
+                     triangle_size=0.15, clusters=40, seed=101),
     ])
 
 
-def _frst() -> np.ndarray:
+def _frst(density: float = 1.0) -> np.ndarray:
     # Forest: trunks and leaf clusters with deep overlap.
     return merge_meshes([
-        canopy_mesh(36, 900, bounds_size=22.0, leaf_size=0.24, seed=110),
-        grid_mesh(20, 20, size=24.0, height_amplitude=0.8, seed=111),
+        canopy_mesh(36, _count(900, density), bounds_size=22.0,
+                    leaf_size=0.24, seed=110),
+        grid_mesh(_axis(20, density), _axis(20, density), size=24.0,
+                  height_amplitude=0.8, seed=111),
     ])
 
 
-def _bunny() -> np.ndarray:
+def _bunny(density: float = 1.0) -> np.ndarray:
     return merge_meshes([
-        blob_mesh((0, 1, 0), 1.6, subdivisions=3, bumpiness=0.2, seed=120),
-        grid_mesh(8, 8, size=8.0, seed=121),
+        blob_mesh((0, 1, 0), 1.6, subdivisions=_subdiv(3, density),
+                  bumpiness=0.2, seed=120),
+        grid_mesh(_axis(8, density), _axis(8, density), size=8.0, seed=121),
     ])
 
 
-def _ship() -> np.ndarray:
+def _ship(density: float = 1.0) -> np.ndarray:
     # Long thin rigging primitives: huge sparse leaf bounds, so rays test
     # many leaves relative to internal nodes (the paper's SHIP remark).
     return merge_meshes([
-        sliver_mesh(900, length=9.0, thickness=0.02, bounds_size=10.0, seed=130),
+        sliver_mesh(_count(900, density), length=9.0, thickness=0.02,
+                    bounds_size=10.0, seed=130),
         box_mesh((0, -0.5, 0), (12, 1, 4)),
     ])
 
 
-def _ref() -> np.ndarray:
+def _ref(density: float = 1.0) -> np.ndarray:
     # Reflection test room: simple separated geometry, shallow stacks.
-    rng = np.random.default_rng(140)
     parts = [box_mesh((0, 2, 0), (12, 4, 8))]
     for i in range(10):
         parts.append(
             box_mesh((-4.5 + i * 1.0, 0.8, 0), (0.6, 1.6, 0.6))
         )
-    parts.append(blob_mesh((0, 1.2, 2.0), 0.9, subdivisions=3, seed=141))
-    parts.append(scatter_mesh(3800, bounds_size=9.0, triangle_size=0.1,
-                              clusters=6, seed=142))
+    parts.append(blob_mesh((0, 1.2, 2.0), 0.9,
+                           subdivisions=_subdiv(3, density), seed=141))
+    parts.append(scatter_mesh(_count(3800, density), bounds_size=9.0,
+                              triangle_size=0.1, clusters=6, seed=142))
     return merge_meshes(parts)
 
 
-def _chsnt() -> np.ndarray:
+def _chsnt(density: float = 1.0) -> np.ndarray:
     # Chestnut tree: one big canopy cluster.
     return merge_meshes([
-        canopy_mesh(4, 700, bounds_size=6.0, leaf_size=0.3,
+        canopy_mesh(4, _count(700, density), bounds_size=6.0, leaf_size=0.3,
                     crown_size=2.6, seed=150),
-        grid_mesh(10, 10, size=10.0, seed=151),
+        grid_mesh(_axis(10, density), _axis(10, density), size=10.0,
+                  seed=151),
     ])
 
 
-def _park() -> np.ndarray:
+def _park(density: float = 1.0) -> np.ndarray:
     # Park: terrain + many trees; with ROBOT the deepest traversals.
     return merge_meshes([
-        grid_mesh(40, 40, size=30.0, height_amplitude=1.5, seed=160),
-        canopy_mesh(30, 1100, bounds_size=26.0, leaf_size=0.3, seed=161),
-        scatter_mesh(9000, bounds_size=24.0, triangle_size=0.7,
-                     clusters=30, seed=162),
+        grid_mesh(_axis(40, density), _axis(40, density), size=30.0,
+                  height_amplitude=1.5, seed=160),
+        canopy_mesh(30, _count(1100, density), bounds_size=26.0,
+                    leaf_size=0.3, seed=161),
+        scatter_mesh(_count(9000, density), bounds_size=24.0,
+                     triangle_size=0.7, clusters=30, seed=162),
     ])
 
 
@@ -223,21 +316,24 @@ _RECIPES: Dict[str, SceneRecipe] = {
     recipe.name: recipe
     for recipe in [
         SceneRecipe("WKND", _wknd, "0", 0.2),
-        SceneRecipe("SPRNG", _sprng, "1.9M", 178.0),
-        SceneRecipe("FOX", _fox, "1.6M", 648.5),
-        SceneRecipe("LANDS", _lands, "3.3M", 303.5),
-        SceneRecipe("CRNVL", _crnvl, "449.6K", 60.7),
-        SceneRecipe("SPNZA", _spnza, "262.3K", 22.8),
-        SceneRecipe("BATH", _bath, "423.6K", 112.8),
-        SceneRecipe("ROBOT", _robot, "20.6M", 1869.0, complex_scene=True),
-        SceneRecipe("CAR", _car, "12.7M", 1328.2),
-        SceneRecipe("PARTY", _party, "1.7M", 156.1),
-        SceneRecipe("FRST", _frst, "4.2M", 380.5),
-        SceneRecipe("BUNNY", _bunny, "144.1K", 13.2),
-        SceneRecipe("SHIP", _ship, "6.3K", 0.5),
-        SceneRecipe("REF", _ref, "448.9K", 40.4),
-        SceneRecipe("CHSNT", _chsnt, "313.2K", 28.3, complex_scene=True),
-        SceneRecipe("PARK", _park, "6.0M", 542.5, complex_scene=True),
+        SceneRecipe("SPRNG", _sprng, "1.9M", 178.0, full_density=101.0),
+        SceneRecipe("FOX", _fox, "1.6M", 648.5, full_density=462.0),
+        SceneRecipe("LANDS", _lands, "3.3M", 303.5, full_density=109.0),
+        SceneRecipe("CRNVL", _crnvl, "449.6K", 60.7, full_density=102.0),
+        SceneRecipe("SPNZA", _spnza, "262.3K", 22.8, full_density=98.0),
+        SceneRecipe("BATH", _bath, "423.6K", 112.8, full_density=98.0),
+        SceneRecipe("ROBOT", _robot, "20.6M", 1869.0, complex_scene=True,
+                    full_density=355.0),
+        SceneRecipe("CAR", _car, "12.7M", 1328.2, full_density=368.0),
+        SceneRecipe("PARTY", _party, "1.7M", 156.1, full_density=103.0),
+        SceneRecipe("FRST", _frst, "4.2M", 380.5, full_density=126.0),
+        SceneRecipe("BUNNY", _bunny, "144.1K", 13.2, full_density=225.0),
+        SceneRecipe("SHIP", _ship, "6.3K", 0.5, full_density=6.9),
+        SceneRecipe("REF", _ref, "448.9K", 40.4, full_density=101.0),
+        SceneRecipe("CHSNT", _chsnt, "313.2K", 28.3, complex_scene=True,
+                    full_density=104.0),
+        SceneRecipe("PARK", _park, "6.0M", 542.5, complex_scene=True,
+                    full_density=133.0),
     ]
 }
 
@@ -255,10 +351,18 @@ def scene_recipe(name: str) -> SceneRecipe:
     return _RECIPES[key]
 
 
-def load_scene(name: str) -> Scene:
-    """Generate one benchmark scene by name."""
+def load_scene(name: str, scale: Optional[float] = None) -> Scene:
+    """Generate one benchmark scene by name.
+
+    ``scale`` is the geometry scale (1.0 = the paper's Table II triangle
+    count); when ``None`` it comes from ``REPRO_BENCH_SCALE``, and with
+    that unset too the reduced default recipe is generated.
+    """
     recipe = scene_recipe(name)
-    return Scene(name=recipe.name, vertices=recipe.builder())
+    if scale is None:
+        scale = bench_scale()
+    density = recipe.density_for(scale)
+    return Scene(name=recipe.name, vertices=recipe.builder(density))
 
 
 def all_scenes() -> List[Scene]:

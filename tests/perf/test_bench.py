@@ -26,7 +26,7 @@ def _payload(tag="t", calibration=0.1, wall=1.0, name="trace:X",
     payload.results[name] = {
         "wall_s": wall, "rays": 10, "steps": 100,
         "rays_per_s": 10 / wall, "steps_per_s": 100 / wall,
-        "cycles": None, "cycles_per_s": None, "peak_rss_kb": None,
+        "peak_rss_kb": None,
     }
     return payload
 
@@ -40,6 +40,9 @@ def test_reference_matrix_is_well_formed():
         if case.kind == "sim":
             assert case.source in trace_names
             assert case.config
+            assert case.backend in (None, "stepped", "vector")
+        else:
+            assert case.backend is None
 
 
 def test_calibration_is_positive_and_scales():
@@ -113,15 +116,28 @@ def test_run_benchmarks_smoke():
                   width=6, height=6, bounces=1),
         BenchCase(name="sim:BUNNY/RB_8", kind="sim", scene="BUNNY",
                   config="RB_8", source="trace:BUNNY"),
+        BenchCase(name="sim:BUNNY/RB_8/vector", kind="sim", scene="BUNNY",
+                  config="RB_8", source="trace:BUNNY", backend="vector"),
     )
     messages = []
     payload = run_benchmarks("smoke", cases=cases, repeats=1,
                              log=messages.append)
-    assert set(payload.results) == {"trace:BUNNY", "sim:BUNNY/RB_8"}
+    assert set(payload.results) == {
+        "trace:BUNNY", "sim:BUNNY/RB_8", "sim:BUNNY/RB_8/vector"
+    }
     trace_result = payload.results["trace:BUNNY"]
     assert trace_result["wall_s"] > 0 and trace_result["rays"] > 0
+    # Trace cases have no cycle metrics at all (not even null entries).
+    assert "cycles" not in trace_result
+    assert "cycles_per_s" not in trace_result
+    assert "backend" not in trace_result
     sim_result = payload.results["sim:BUNNY/RB_8"]
     assert sim_result["cycles"] and sim_result["cycles_per_s"] > 0
+    assert sim_result["backend"] == "stepped"
+    vector_result = payload.results["sim:BUNNY/RB_8/vector"]
+    assert vector_result["backend"] == "vector"
+    # Bit-identity contract: same traces, same simulated cycles.
+    assert vector_result["cycles"] == sim_result["cycles"]
     assert payload.calibration_s > 0
     assert any("calibrating" in m for m in messages)
 
