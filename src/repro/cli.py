@@ -229,13 +229,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("paths", nargs="*", default=None,
                       help="files or directories to lint (default: src)")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
-                      help="report format (default text)")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text", help="report format (default text)")
     lint.add_argument("--out", default=None,
                       help="also write the report to this file")
     lint.add_argument("--config", default=None,
                       help="pyproject.toml to read [tool.simlint] from "
                       "(default: ./pyproject.toml)")
+    lint.add_argument("--changed", action="store_true",
+                      help="lint only files changed in the git working "
+                      "tree (falls back to a full scan outside git)")
+    lint.add_argument("--cache", default=None,
+                      help="incremental analysis cache file (default: the "
+                      "configured [tool.simlint] cache, if any)")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="ignore any configured analysis cache")
     lint.add_argument("--baseline", default=None,
                       help="baseline file (default: the configured one)")
     lint.add_argument("--no-baseline", action="store_true",
@@ -663,12 +671,17 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_lint(args) -> int:
+    from pathlib import Path
+
     from repro.simlint import (
+        AnalysisCache,
         all_rules,
+        changed_python_files,
         lint_paths,
         load_baseline,
         load_config,
         render_json,
+        render_sarif,
         render_text,
         write_baseline,
     )
@@ -684,7 +697,19 @@ def _cmd_lint(args) -> int:
     baseline = None
     if baseline_path and not args.no_baseline and not args.write_baseline:
         baseline = load_baseline(baseline_path)
-    report = lint_paths(paths, config=config, baseline=baseline)
+    files = None
+    if args.changed:
+        files = changed_python_files(paths, config)
+        if files is None:
+            print("lint --changed: not a git checkout, linting everything",
+                  file=sys.stderr)
+    cache = None
+    if not args.no_cache:
+        cache_path = Path(args.cache) if args.cache else config.cache_path
+        if cache_path is not None:
+            cache = AnalysisCache.load(cache_path, config)
+    report = lint_paths(paths, config=config, baseline=baseline,
+                        cache=cache, files=files)
     if args.write_baseline:
         if baseline_path is None:
             print("error: no baseline path configured or given",
@@ -694,14 +719,14 @@ def _cmd_lint(args) -> int:
         print(f"baselined {len(report.findings)} finding(s) into "
               f"{baseline_path}")
         return 0
-    text = (
-        render_json(report) if args.format == "json"
-        else render_text(report, show_baselined=args.show_baselined)
-    )
+    if args.format == "json":
+        text = render_json(report)
+    elif args.format == "sarif":
+        text = render_sarif(report)
+    else:
+        text = render_text(report, show_baselined=args.show_baselined)
     print(text)
     if args.out:
-        from pathlib import Path
-
         Path(args.out).write_text(text + "\n")
         print(f"report written to {args.out}", file=sys.stderr)
     return report.exit_code

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import SimulationError
 from repro.trace.events import NodeKind, RayTrace, Step
 
 __all__ = [
@@ -148,6 +149,20 @@ def unpack_trace(
     popped = soa.popped.tolist()
     push_off = soa.push_off.tolist()
     pushes = soa.pushes.tolist()
+    # Python slices clamp: a truncated or misaligned push_off would not
+    # raise below, it would silently reconstruct short push lists —
+    # dropped pushes, wrong stack depths, counters that stop conserving.
+    # Fail loud at the boundary instead.
+    if len(push_off) != soa.n_steps + 1:
+        raise SimulationError(
+            f"TraceSoA push_off has {len(push_off)} entries for "
+            f"{soa.n_steps} steps (expected n_steps + 1)"
+        )
+    if soa.n_steps and push_off[-1] != len(pushes):
+        raise SimulationError(
+            f"TraceSoA push_off terminates at {push_off[-1]} but the "
+            f"pushes payload holds {len(pushes)} entries"
+        )
     steps = [
         Step(
             address=address[k],

@@ -1,62 +1,128 @@
 """The committed baseline: grandfathered findings that do not gate CI.
 
-Every entry keys on ``(path, rule, stripped source line)`` rather than a
-line number, so edits elsewhere in a file do not churn the baseline.
-Duplicate offending lines are handled multiset-style: a baseline entry
-absolves exactly as many findings as were recorded for that key.
+Schema 2 keys every entry on ``(path, rule, context-hash)`` — a short
+digest of the stripped previous/current/next source lines around the
+finding (see :func:`context_hash_for`).  Line numbers drift with every
+unrelated edit and the bare offending line is not unique within a file;
+the three-line context window is stable under both.  Entries still
+carry the offending ``text`` so the JSON reviews meaningfully.
+
+Schema 1 keyed on ``(path, rule, stripped source line)``; loading a v1
+file still works — its entries match on the text key — and the next
+``repro lint --write-baseline`` migrates the file to v2.  Both schemas
+are handled multiset-style: an entry absolves exactly as many findings
+as were recorded for its key.
 
 The file is JSON (one object, sorted keys) so diffs review cleanly, and
-carries a schema version so a future format change reads as "rebuild the
-baseline", not as silent acceptance of every finding.
+carries the schema version so an *unknown* format change reads as
+"rebuild the baseline", not as silent acceptance of every finding.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections import Counter
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.simlint.model import Finding
 
-BASELINE_SCHEMA_VERSION = 1
+BASELINE_SCHEMA_VERSION = 2
+
+#: Schemas :func:`load_baseline` can still read.
+SUPPORTED_SCHEMAS = (1, 2)
+
+
+def context_hash_for(lines: Sequence[str], line: int) -> str:
+    """The line-content context hash for finding at 1-based ``line``.
+
+    A short sha256 of the stripped previous, current and next source
+    lines — whitespace-only reformatting and edits elsewhere in the
+    file leave it unchanged; moving or rewriting the finding's
+    neighborhood does not.
+    """
+    window = []
+    for offset in (-1, 0, 1):
+        index = line - 1 + offset
+        window.append(lines[index].strip() if 0 <= index < len(lines) else "")
+    blob = "\n".join(window)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
 class Baseline:
-    """A multiset of grandfathered finding keys."""
+    """A multiset of grandfathered finding keys (context + legacy text)."""
 
     def __init__(self, entries: Optional[Iterable[Dict]] = None) -> None:
-        self._counts: Counter = Counter(
-            self._key(entry["path"], entry["rule"], entry["text"])
-            for entry in (entries or [])
-        )
+        self._by_context: Counter = Counter()
+        self._by_text: Counter = Counter()
+        for entry in entries or []:
+            context = str(entry.get("context", "") or "")
+            if context:
+                self._by_context[self._context_key(entry["path"],
+                                                   entry["rule"],
+                                                   context)] += 1
+            else:
+                self._by_text[self._text_key(entry["path"], entry["rule"],
+                                             entry["text"])] += 1
+        #: Keeps the human-facing text for :meth:`entries` round-trips.
+        self._texts: Dict[tuple, str] = {
+            self._context_key(e["path"], e["rule"], str(e.get("context", ""))):
+                str(e.get("text", ""))
+            for e in (entries or [])
+            if e.get("context")
+        }
 
     @staticmethod
-    def _key(path: str, rule: str, text: str) -> tuple:
-        return (str(path), str(rule), str(text).strip())
+    def _context_key(path: str, rule: str, context: str) -> tuple:
+        return ("ctx", str(path), str(rule), context)
+
+    @staticmethod
+    def _text_key(path: str, rule: str, text: str) -> tuple:
+        return ("txt", str(path), str(rule), str(text).strip())
 
     def __len__(self) -> int:
-        return sum(self._counts.values())
+        return sum(self._by_context.values()) + sum(self._by_text.values())
 
     def apply(self, findings: List[Finding]) -> int:
-        """Mark baselined findings in place; returns how many matched."""
-        remaining = Counter(self._counts)
+        """Mark baselined findings in place; returns how many matched.
+
+        A finding first tries its context hash (schema-2 entries), then
+        the legacy text key (schema-1 entries and findings built
+        without source context).
+        """
+        remaining_ctx = Counter(self._by_context)
+        remaining_txt = Counter(self._by_text)
         matched = 0
         for finding in findings:
-            key = self._key(finding.path, finding.rule, finding.text)
-            if remaining[key] > 0:
-                remaining[key] -= 1
+            key = self._context_key(finding.path, finding.rule,
+                                    finding.context_hash)
+            if finding.context_hash and remaining_ctx[key] > 0:
+                remaining_ctx[key] -= 1
+                finding.baselined = True
+                matched += 1
+                continue
+            key = self._text_key(finding.path, finding.rule, finding.text)
+            if remaining_txt[key] > 0:
+                remaining_txt[key] -= 1
                 finding.baselined = True
                 matched += 1
         return matched
 
     def entries(self) -> List[Dict]:
-        """The baseline content in its on-disk shape."""
+        """The baseline content in its on-disk (schema 2) shape."""
         out: List[Dict] = []
-        for (path, rule, text), count in sorted(self._counts.items()):
+        for key, count in sorted(self._by_context.items()):
+            _, path, rule, context = key
             out.extend(
-                {"path": path, "rule": rule, "text": text}
+                {"path": path, "rule": rule, "context": context,
+                 "text": self._texts.get(key, "")}
+                for _ in range(count)
+            )
+        for (_, path, rule, text), count in sorted(self._by_text.items()):
+            out.extend(
+                {"path": path, "rule": rule, "context": "", "text": text}
                 for _ in range(count)
             )
         return out
@@ -71,22 +137,33 @@ def load_baseline(path) -> Baseline:
         payload = json.loads(path.read_text())
     except ValueError as error:
         raise ReproError(f"unreadable simlint baseline {path}: {error}") from None
-    if payload.get("schema") != BASELINE_SCHEMA_VERSION:
+    schema = payload.get("schema")
+    if schema not in SUPPORTED_SCHEMAS:
         raise ReproError(
-            f"simlint baseline {path} has schema {payload.get('schema')!r}; "
-            f"expected {BASELINE_SCHEMA_VERSION} — regenerate with "
+            f"simlint baseline {path} has schema {schema!r}; "
+            f"expected one of {SUPPORTED_SCHEMAS} — regenerate with "
             f"`repro lint --write-baseline`"
         )
     entries = payload.get("entries", [])
     if not isinstance(entries, list):
         raise ReproError(f"simlint baseline {path}: entries must be a list")
+    if schema == 1:
+        # v1 entries key on text only; Baseline() treats a missing
+        # "context" as the legacy key, so migration is just a reload.
+        entries = [dict(entry, context="") for entry in entries]
     return Baseline(entries)
 
 
 def write_baseline(path, findings: Iterable[Finding]) -> Baseline:
-    """Persist every finding as grandfathered; returns the new baseline."""
+    """Persist every finding as grandfathered; always writes schema 2."""
     baseline = Baseline(
-        {"path": f.path, "rule": f.rule, "text": f.text} for f in findings
+        {
+            "path": f.path,
+            "rule": f.rule,
+            "context": f.context_hash,
+            "text": f.text,
+        }
+        for f in findings
     )
     payload = {
         "schema": BASELINE_SCHEMA_VERSION,

@@ -1,0 +1,213 @@
+"""The incremental analysis cache: warm re-lints parse nothing.
+
+One JSON file maps each linted path to its content hash, its
+:class:`~repro.simlint.project.FileSummary`, and two finding sets:
+
+``local``
+    Findings of file-local rules, valid whenever the file's content
+    hash matches — edits elsewhere in the tree cannot change them.
+``global``
+    Findings of cross-file rules (``Rule.cross_file``), additionally
+    keyed on the file's *import-closure fingerprint* — the hash of the
+    (module, content-sha) pairs of every project module the file can
+    see.  Editing a transitive dependency invalidates exactly the
+    dependents; editing an unrelated module leaves them warm.
+
+The whole cache is guarded by one run fingerprint combining the lint
+configuration and the simlint package's own source hashes, so changing
+a rule or a config knob discards stale results wholesale instead of
+serving them.  Because summaries are cached too, the project graph of
+a warm run is rebuilt from JSON alone: an unchanged tree is re-linted
+with **zero** ``ast.parse`` calls — the property the warm-cache test
+asserts and the CI lint job times.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields as dataclass_fields
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.simlint.config import LintConfig
+from repro.simlint.model import Finding
+from repro.simlint.project import SUMMARY_SCHEMA_VERSION, FileSummary
+
+CACHE_SCHEMA_VERSION = 1
+
+
+def rules_fingerprint() -> str:
+    """sha256 over the simlint package's own source files.
+
+    Any change to the engine, a rule, or this module invalidates every
+    cached finding — the analysis *is* part of the key.
+    """
+    package = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package.rglob("*.py")):
+        digest.update(path.relative_to(package).as_posix().encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def config_fingerprint(config: LintConfig) -> str:
+    """sha256 of every config field that can change findings."""
+    payload: Dict[str, object] = {}
+    for field in dataclass_fields(config):
+        value = getattr(config, field.name)
+        payload[field.name] = (
+            sorted(value.items()) if isinstance(value, dict) else str(value)
+        )
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def run_fingerprint(config: LintConfig) -> str:
+    return hashlib.sha256(
+        f"{CACHE_SCHEMA_VERSION}:{SUMMARY_SCHEMA_VERSION}:"
+        f"{rules_fingerprint()}:{config_fingerprint(config)}".encode("utf-8")
+    ).hexdigest()
+
+
+def _dump_findings(findings: List[Finding]) -> List[Dict]:
+    return [finding.to_dict() for finding in findings]
+
+
+def _load_findings(payload: List[Dict]) -> List[Finding]:
+    out: List[Finding] = []
+    for entry in payload:
+        out.append(
+            Finding(
+                rule=str(entry["rule"]),
+                severity=str(entry["severity"]),
+                path=str(entry["path"]),
+                line=int(entry["line"]),
+                col=int(entry["col"]),
+                message=str(entry["message"]),
+                text=str(entry.get("text", "")),
+                context_hash=str(entry.get("context_hash", "")),
+            )
+        )
+    return out
+
+
+class AnalysisCache:
+    """Per-file analysis results, keyed as the module docstring says."""
+
+    def __init__(
+        self, path: Optional[Path] = None, fingerprint: str = ""
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.fingerprint = fingerprint
+        self._files: Dict[str, Dict] = {}
+
+    @classmethod
+    def load(cls, path, config: LintConfig) -> "AnalysisCache":
+        """Read a cache file; anything stale or unreadable starts empty."""
+        fingerprint = run_fingerprint(config)
+        cache = cls(Path(path), fingerprint)
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, ValueError):
+            return cache
+        if (
+            payload.get("schema") != CACHE_SCHEMA_VERSION
+            or payload.get("fingerprint") != fingerprint
+            or not isinstance(payload.get("files"), dict)
+        ):
+            return cache
+        cache._files = payload["files"]
+        return cache
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "files": self._files,
+        }
+        self.path.write_text(json.dumps(payload, sort_keys=True) + "\n")
+
+    # -- reads ----------------------------------------------------------
+
+    def _entry(self, path: str, sha: str) -> Optional[Dict]:
+        entry = self._files.get(path)
+        if entry is None or entry.get("sha") != sha:
+            return None
+        return entry
+
+    def broken_for(self, path: str, sha: str) -> Optional[str]:
+        entry = self._entry(path, sha)
+        if entry is None:
+            return None
+        message = entry.get("broken")
+        return str(message) if message is not None else None
+
+    def summary_for(self, path: str, sha: str) -> Optional[FileSummary]:
+        entry = self._entry(path, sha)
+        if entry is None or "summary" not in entry:
+            return None
+        return FileSummary.from_dict(entry["summary"])
+
+    def local_findings(
+        self, path: str, sha: str
+    ) -> Optional[Tuple[List[Finding], int]]:
+        entry = self._entry(path, sha)
+        if entry is None or "local" not in entry:
+            return None
+        local = entry["local"]
+        return _load_findings(local["findings"]), int(local["suppressed"])
+
+    def global_findings(
+        self, path: str, sha: str, deps_fp: str
+    ) -> Optional[Tuple[List[Finding], int]]:
+        entry = self._entry(path, sha)
+        if entry is None or "global" not in entry:
+            return None
+        cached = entry["global"]
+        if cached.get("deps") != deps_fp:
+            return None
+        return _load_findings(cached["findings"]), int(cached["suppressed"])
+
+    # -- writes ---------------------------------------------------------
+
+    def _fresh(self, path: str, sha: str) -> Dict:
+        entry = self._files.get(path)
+        if entry is None or entry.get("sha") != sha:
+            entry = {"sha": sha}
+            self._files[path] = entry
+        return entry
+
+    def store_broken(self, path: str, sha: str, message: str) -> None:
+        self._fresh(path, sha)["broken"] = message
+
+    def store_summary(
+        self, path: str, sha: str, summary: FileSummary
+    ) -> None:
+        self._fresh(path, sha)["summary"] = summary.to_dict()
+
+    def store_local(
+        self, path: str, sha: str, findings: List[Finding], suppressed: int
+    ) -> None:
+        self._fresh(path, sha)["local"] = {
+            "findings": _dump_findings(findings),
+            "suppressed": suppressed,
+        }
+
+    def store_global(
+        self,
+        path: str,
+        sha: str,
+        deps_fp: str,
+        findings: List[Finding],
+        suppressed: int,
+    ) -> None:
+        self._fresh(path, sha)["global"] = {
+            "deps": deps_fp,
+            "findings": _dump_findings(findings),
+            "suppressed": suppressed,
+        }

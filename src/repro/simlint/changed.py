@@ -1,0 +1,86 @@
+"""Git-scoped file selection for ``repro lint --changed``.
+
+The pre-commit loop only cares about files the commit will contain, so
+``--changed`` asks git for the union of tracked modifications
+(``git diff --name-only HEAD``) and untracked-but-not-ignored files,
+filters them down to Python files under the requested lint targets,
+and hands the engine an explicit file list.  Outside a git checkout —
+or when git itself fails — the selection degrades to ``None`` and the
+caller falls back to the full scan, so the flag is always safe to pass.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+#: git commands whose combined output is "what would this commit touch".
+_GIT_QUERIES = (
+    ("git", "diff", "--name-only", "HEAD"),
+    ("git", "ls-files", "--others", "--exclude-standard"),
+)
+
+
+def changed_python_files(
+    paths: Sequence[str], config
+) -> Optional[List[str]]:
+    """Changed ``.py`` files under ``paths``, or ``None`` outside git.
+
+    Paths come back relative to the current working directory (the way
+    the full scan spells them), deleted files are dropped, and the
+    config excludes apply exactly as they do to a full scan.
+    """
+    from repro.simlint.engine import _excluded
+
+    try:
+        top = _git("rev-parse", "--show-toplevel")
+        if top is None:
+            return None
+        root = Path(top.strip())
+        names = set()
+        for query in _GIT_QUERIES:
+            output = _git(*query[1:])
+            if output is None:
+                return None
+            names.update(line for line in output.splitlines() if line)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    roots = [Path(entry).resolve() for entry in paths]
+    selected: List[str] = []
+    for name in sorted(names):
+        candidate = root / name
+        if candidate.suffix != ".py" or not candidate.is_file():
+            continue
+        resolved = candidate.resolve()
+        if not any(_under(resolved, base) for base in roots):
+            continue
+        rel = Path(os.path.relpath(resolved, Path.cwd()))
+        if _excluded(rel, config):
+            continue
+        selected.append(rel.as_posix())
+    return selected
+
+
+def _under(path: Path, base: Path) -> bool:
+    if base.is_file():
+        return path == base
+    try:
+        path.relative_to(base)
+        return True
+    except ValueError:
+        return False
+
+
+def _git(*args: str) -> Optional[str]:
+    """stdout of one git command, or ``None`` on any failure."""
+    result = subprocess.run(
+        ("git",) + args,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if result.returncode != 0:
+        return None
+    return result.stdout

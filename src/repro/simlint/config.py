@@ -16,6 +16,23 @@ Keys (all optional — the defaults below describe this repository):
     Packages allowed to write ``Counters`` fields (SL203).
 ``print-allowed``
     Modules where ``print()`` is the job (SL402).
+``async-critical``
+    Packages whose code runs on the asyncio event loop; the SL5xx
+    concurrency family (``scope="async"``) only fires inside these.
+``vector-packages``
+    Packages holding the numpy timing backend; the SL6xx vector family
+    (``scope="vector"``) only fires inside these.
+``soa-cache-writers``
+    Function names sanctioned to mutate the ``_vector_cache`` SoA
+    mirrors (SL602).
+``taint-sinks``
+    Function names whose return value is a content key / cache salt —
+    the determinism taint engine (SL110) rejects tainted returns here.
+``test-families``
+    Rule categories that also run against ``tests/`` files.
+``cache``
+    Path of the incremental analysis cache file, relative to the
+    pyproject; unset disables caching unless ``--cache`` is passed.
 ``disable``
     Rule ids turned off entirely.
 ``[tool.simlint.severity]``
@@ -48,6 +65,11 @@ DEFAULT_SINGLETONS = (
 )
 DEFAULT_COUNTER_OWNERS = ("repro.gpu",)
 DEFAULT_PRINT_ALLOWED = ("repro.cli",)
+DEFAULT_ASYNC_CRITICAL = ("repro.service",)
+DEFAULT_VECTOR_PACKAGES = ("repro.gpu.vector",)
+DEFAULT_SOA_CACHE_WRITERS = ("trace_cache", "pack_trace", "warp_plan")
+DEFAULT_TAINT_SINKS = ("key", "spec", "content_key", "cache_key", "salt")
+DEFAULT_TEST_FAMILIES = ("determinism", "hygiene")
 
 
 @dataclass
@@ -60,6 +82,12 @@ class LintConfig:
     singletons: Tuple[str, ...] = DEFAULT_SINGLETONS
     counter_owners: Tuple[str, ...] = DEFAULT_COUNTER_OWNERS
     print_allowed: Tuple[str, ...] = DEFAULT_PRINT_ALLOWED
+    async_critical: Tuple[str, ...] = DEFAULT_ASYNC_CRITICAL
+    vector_packages: Tuple[str, ...] = DEFAULT_VECTOR_PACKAGES
+    soa_cache_writers: Tuple[str, ...] = DEFAULT_SOA_CACHE_WRITERS
+    taint_sinks: Tuple[str, ...] = DEFAULT_TAINT_SINKS
+    test_families: Tuple[str, ...] = DEFAULT_TEST_FAMILIES
+    cache_path: Optional[Path] = None
     disabled: Tuple[str, ...] = ()
     severity: Dict[str, str] = field(default_factory=dict)
 
@@ -95,6 +123,22 @@ def load_config(pyproject: Optional[Path] = None) -> LintConfig:
     config.print_allowed = _str_tuple(
         table, "print-allowed", config.print_allowed
     )
+    config.async_critical = _str_tuple(
+        table, "async-critical", config.async_critical
+    )
+    config.vector_packages = _str_tuple(
+        table, "vector-packages", config.vector_packages
+    )
+    config.soa_cache_writers = _str_tuple(
+        table, "soa-cache-writers", config.soa_cache_writers
+    )
+    config.taint_sinks = _str_tuple(table, "taint-sinks", config.taint_sinks)
+    config.test_families = _str_tuple(
+        table, "test-families", config.test_families
+    )
+    cache = table.get("cache")
+    if cache:
+        config.cache_path = path.parent / str(cache)
     config.disabled = _str_tuple(table, "disable", config.disabled)
     severity = table.get("severity") or {}
     if not isinstance(severity, dict):

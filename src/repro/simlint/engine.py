@@ -17,9 +17,10 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.errors import ReproError
-from repro.simlint.baseline import Baseline
+from repro.simlint.baseline import Baseline, context_hash_for
 from repro.simlint.config import LintConfig
 from repro.simlint.model import Finding
+from repro.simlint.project import ProjectGraph, content_hash, summarize_file
 
 #: ``# simlint: disable=SL101,SL204`` (line) / ``disable-file=`` (file).
 _SUPPRESS_RE = re.compile(
@@ -42,6 +43,16 @@ class FileContext:
         self.source = source
         self.config = config or LintConfig()
         self.module = module if module is not None else module_name(path)
+        parts = Path(path).parts
+        #: Files outside the package still get scoped rule families:
+        #: tests (determinism + hygiene) and tools (everything
+        #: repro-scoped) — see :meth:`Rule.applies_to`.
+        self.is_test = "tests" in parts or Path(path).name.startswith("test_")
+        self.is_tool = "tools" in parts
+        #: The whole-program view, attached by :func:`lint_paths`;
+        #: ``None`` for single-file runs (``lint_source``), in which
+        #: case cross-file rules degrade to file-local reasoning.
+        self.project = None
         self.lines = source.splitlines()
         self.tree = ast.parse(source, filename=path)
         self._parents: Dict[int, ast.AST] = {}
@@ -114,7 +125,8 @@ class FileContext:
         """A finding anchored at ``node``, with config-resolved severity."""
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
-        text = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        in_range = 0 < line <= len(self.lines)
+        text = self.lines[line - 1].strip() if in_range else ""
         return Finding(
             rule=rule.id,
             severity=self.config.severity_for(rule),
@@ -123,6 +135,7 @@ class FileContext:
             col=col + 1,
             message=message,
             text=text,
+            context_hash=context_hash_for(self.lines, line) if in_range else "",
         )
 
 
@@ -170,6 +183,12 @@ class LintReport:
     suppressed: int = 0
     #: Files that failed to parse, as (path, message) pairs.
     broken: List[tuple] = field(default_factory=list)
+    #: Incremental-cache accounting: files whose source was fed to
+    #: ``ast.parse`` this run, files that had at least one rule phase
+    #: actually executed, and cache-served rule phases.
+    reparsed: int = 0
+    analyzed: int = 0
+    cache_hits: int = 0
 
     @property
     def errors(self) -> List[Finding]:
@@ -256,26 +275,141 @@ def _excluded(path: Path, config: LintConfig) -> bool:
     return False
 
 
+class _FileState:
+    """Per-file bookkeeping for one :func:`lint_paths` run."""
+
+    __slots__ = ("path", "source", "sha", "ctx", "summary", "broken")
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.sha = content_hash(source)
+        self.ctx: Optional[FileContext] = None
+        self.summary = None
+        self.broken: Optional[str] = None
+
+
+def _ensure_context(
+    state: _FileState, config: LintConfig, report: LintReport
+):
+    """The parsed context for ``state``, parsing (once) on demand."""
+    if state.ctx is None:
+        state.ctx = FileContext(state.path, state.source, config=config)
+        report.reparsed += 1
+    return state.ctx
+
+
 def lint_paths(
     paths: Sequence[str],
     config: Optional[LintConfig] = None,
     baseline: Optional[Baseline] = None,
+    cache=None,
+    files: Optional[Sequence[str]] = None,
 ) -> LintReport:
-    """Lint files/trees; applies suppressions, then the baseline."""
+    """Lint files/trees; applies suppressions, then the baseline.
+
+    ``cache`` is an :class:`~repro.simlint.cache.AnalysisCache`; with a
+    warm one, unchanged files contribute their cached summaries to the
+    project graph and their cached findings to the report without ever
+    being parsed.  ``files`` overrides discovery with an explicit file
+    list (``repro lint --changed``); the caller is responsible for
+    having applied the config excludes.
+
+    The run is two-phase per file: file-local rules (cache key: content
+    hash) and cross-file rules (cache key: content hash + import-
+    closure fingerprint), both against the :class:`ProjectGraph`
+    assembled from every file's summary.
+    """
+    from repro.simlint.registry import all_rules
+
     config = config or LintConfig()
     report = LintReport()
-    for path in iter_python_files(paths, config):
-        source = path.read_text()
-        posix = path.as_posix()
-        try:
-            ctx = FileContext(posix, source, config=config)
-        except SyntaxError as error:
-            report.broken.append((posix, f"line {error.lineno}: {error.msg}"))
+    rules = [r for r in all_rules() if r.id not in config.disabled]
+    local_rules = [r for r in rules if not r.cross_file]
+    cross_rules = [r for r in rules if r.cross_file]
+
+    # Phase 0: discover, hash, and summarize (from cache where warm).
+    states: List[_FileState] = []
+    if files is not None:
+        targets = [Path(entry) for entry in files]
+    else:
+        targets = list(iter_python_files(paths, config))
+    for path in targets:
+        state = _FileState(path.as_posix(), path.read_text())
+        states.append(state)
+        if cache is not None:
+            state.broken = cache.broken_for(state.path, state.sha)
+            if state.broken is not None:
+                continue
+            state.summary = cache.summary_for(state.path, state.sha)
+        if state.summary is None:
+            try:
+                ctx = _ensure_context(state, config, report)
+            except SyntaxError as error:
+                state.broken = f"line {error.lineno}: {error.msg}"
+                continue
+            state.summary = summarize_file(
+                ctx.tree, state.path, ctx.module, ctx.imports, state.source
+            )
+            if cache is not None:
+                cache.store_summary(state.path, state.sha, state.summary)
+
+    graph = ProjectGraph(
+        state.summary for state in states if state.summary is not None
+    )
+
+    # Phases 1 + 2: run (or replay) both rule families per file.
+    for state in states:
+        if state.broken is not None:
+            report.broken.append((state.path, state.broken))
+            if cache is not None:
+                cache.store_broken(state.path, state.sha, state.broken)
             continue
         report.files += 1
-        findings, suppressed = _collect(ctx)
-        report.suppressed += suppressed
+        ran_live = False
+        cached = (
+            cache.local_findings(state.path, state.sha)
+            if cache is not None
+            else None
+        )
+        if cached is not None:
+            findings, suppressed = cached
+            report.cache_hits += 1
+        else:
+            ctx = _ensure_context(state, config, report)
+            ctx.project = graph
+            findings, suppressed = _collect(ctx, local_rules)
+            ran_live = True
+            if cache is not None:
+                cache.store_local(state.path, state.sha, findings, suppressed)
         report.findings.extend(findings)
+        report.suppressed += suppressed
+
+        deps_fp = graph.closure_fingerprint(state.path)
+        cached = (
+            cache.global_findings(state.path, state.sha, deps_fp)
+            if cache is not None
+            else None
+        )
+        if cached is not None:
+            findings, suppressed = cached
+            report.cache_hits += 1
+        else:
+            ctx = _ensure_context(state, config, report)
+            ctx.project = graph
+            findings, suppressed = _collect(ctx, cross_rules)
+            ran_live = True
+            if cache is not None:
+                cache.store_global(
+                    state.path, state.sha, deps_fp, findings, suppressed
+                )
+        report.findings.extend(findings)
+        report.suppressed += suppressed
+        if ran_live:
+            report.analyzed += 1
+
+    if cache is not None:
+        cache.save()
     if baseline is not None:
         baseline.apply(report.findings)
     report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))

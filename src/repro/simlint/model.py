@@ -20,10 +20,14 @@ class Severity:
 class Finding:
     """One rule violation at one source location.
 
-    ``text`` is the stripped source line the finding points at; baseline
-    matching keys on ``(path, rule, text)`` rather than the line number,
-    so unrelated edits above a grandfathered finding do not un-baseline
-    it.
+    ``text`` is the stripped source line the finding points at.
+    ``context_hash`` is a short digest of the stripped previous/current/
+    next source lines, filled in by the engine: schema-2 baselines key
+    on ``(path, rule, context_hash)``, so neither line-number drift nor
+    a duplicate offending line elsewhere in the file can mis-match a
+    grandfathered finding.  Findings constructed without source context
+    (hand-built in tests, legacy baselines) leave it empty and fall back
+    to ``(path, rule, text)`` matching.
     """
 
     rule: str
@@ -33,6 +37,7 @@ class Finding:
     col: int
     message: str
     text: str = ""
+    context_hash: str = field(default="", compare=False)
     baselined: bool = field(default=False, compare=False)
 
     def location(self) -> str:
@@ -48,5 +53,6 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "text": self.text,
+            "context_hash": self.context_hash,
             "baselined": self.baselined,
         }

@@ -26,16 +26,23 @@ class Rule:
     id: str = ""
     #: One-line summary for catalogs and reporters.
     title: str = ""
-    #: Rule family: determinism / bit-identity / diagnostics / hygiene.
+    #: Rule family: determinism / bit-identity / diagnostics / hygiene /
+    #: concurrency / vector.
     category: str = ""
     #: Why this rule exists, in terms of the simulator's contracts.
     rationale: str = ""
     #: Default severity; pyproject ``[tool.simlint.severity]`` overrides.
     severity: str = Severity.ERROR
     #: Where the rule applies: ``"timing"`` (the timing-critical
-    #: packages), ``"repro"`` (anywhere under the ``repro`` package), or
-    #: ``"all"`` (every linted file, tests included).
+    #: packages), ``"async"`` (the asyncio service packages),
+    #: ``"vector"`` (the numpy timing backend), ``"repro"`` (anywhere
+    #: under the ``repro`` package — plus ``tools/``, and ``tests/`` for
+    #: the configured test families), or ``"all"`` (every linted file).
     scope: str = "repro"
+    #: Cross-file rules consume ``ctx.project`` (the project graph);
+    #: their cached findings are additionally keyed on the file's
+    #: import-closure fingerprint.
+    cross_file: bool = False
 
     def check(self, ctx: "FileContext") -> Iterator[Finding]:
         raise NotImplementedError
@@ -45,13 +52,32 @@ class Rule:
         if self.scope == "all":
             return True
         if ctx.module is None:
+            if getattr(ctx, "is_test", False):
+                # Tests get the configured families (determinism and
+                # hygiene by default): the harness must not smuggle
+                # entropy or stdout noise, but bit-identity/diagnostics
+                # conventions are library contracts, not test contracts.
+                return (
+                    self.scope == "repro"
+                    and self.category in ctx.config.test_families
+                )
+            if getattr(ctx, "is_tool", False):
+                # Tools are repro-grade library code with a __main__.
+                return self.scope == "repro"
             return False
         if self.scope == "timing":
-            return any(
-                ctx.module == pkg or ctx.module.startswith(pkg + ".")
-                for pkg in ctx.config.timing_critical
-            )
+            return _under_any(ctx.module, ctx.config.timing_critical)
+        if self.scope == "async":
+            return _under_any(ctx.module, ctx.config.async_critical)
+        if self.scope == "vector":
+            return _under_any(ctx.module, ctx.config.vector_packages)
         return True  # "repro": any module under the package
+
+
+def _under_any(module: str, packages) -> bool:
+    return any(
+        module == pkg or module.startswith(pkg + ".") for pkg in packages
+    )
 
 
 #: The global rule registry, keyed by rule id.

@@ -1,4 +1,4 @@
-"""Text and JSON renderers for lint reports.
+"""Text, JSON and SARIF renderers for lint reports.
 
 The JSON shape is a stable contract (CI parses it and the report is
 uploaded as a build artifact):
@@ -6,27 +6,40 @@ uploaded as a build artifact):
 .. code-block:: json
 
     {
-      "schema": 1,
+      "schema": 2,
       "tool": "repro.simlint",
       "exit_code": 1,
       "summary": {"files": 210, "errors": 1, "warnings": 0,
-                  "baselined": 0, "suppressed": 4, "broken": 0},
+                  "baselined": 0, "suppressed": 4, "broken": 0,
+                  "analyzed": 3, "reparsed": 3, "cache_hits": 414},
       "findings": [{"rule": "SL101", "severity": "error",
                     "path": "src/repro/gpu/rt_unit.py", "line": 12,
                     "col": 9, "message": "...", "text": "...",
-                    "baselined": false}],
+                    "context_hash": "...", "baselined": false}],
       "broken": []
     }
+
+The SARIF rendering targets the GitHub code-scanning subset of SARIF
+2.1.0: one run, one driver, a rule catalog with the registered rules'
+titles and rationales, and one result per non-baselined finding, with
+the baseline context hash as a partial fingerprint so annotations track
+findings across line drift the same way the baseline does.
 """
 
 from __future__ import annotations
 
 import json
-from typing import List
+from typing import Dict, List
 
 from repro.simlint.engine import LintReport
 
-REPORT_SCHEMA_VERSION = 1
+REPORT_SCHEMA_VERSION = 2
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(report: LintReport, show_baselined: bool = False) -> str:
@@ -54,6 +67,11 @@ def summary_line(report: LintReport) -> str:
     )
     if report.broken:
         counts += f", {len(report.broken)} unparseable"
+    if report.cache_hits:
+        counts += (
+            f" [incremental: {report.analyzed} analyzed, "
+            f"{report.reparsed} parsed, {report.cache_hits} cache hits]"
+        )
     return counts
 
 
@@ -70,6 +88,9 @@ def render_json(report: LintReport) -> str:
             "baselined": len(report.baselined),
             "suppressed": report.suppressed,
             "broken": len(report.broken),
+            "analyzed": report.analyzed,
+            "reparsed": report.reparsed,
+            "cache_hits": report.cache_hits,
         },
         "findings": [finding.to_dict() for finding in report.findings],
         "broken": [
@@ -78,3 +99,81 @@ def render_json(report: LintReport) -> str:
         ],
     }
     return json.dumps(payload, indent=1, sort_keys=True)
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 rendering for GitHub code-scanning upload.
+
+    Baselined findings are omitted — the committed baseline already is
+    the suppression mechanism, and re-announcing grandfathered findings
+    in the PR view would drown the new ones the upload exists to show.
+    """
+    from repro.simlint.registry import all_rules
+
+    fired = {finding.rule for finding in report.findings}
+    rules = [
+        {
+            "id": rule.id,
+            "name": rule.__class__.__name__,
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {
+                "level": _sarif_level(rule.severity),
+            },
+        }
+        for rule in all_rules()
+        if rule.id in fired
+    ]
+    rule_index = {entry["id"]: i for i, entry in enumerate(rules)}
+    results = []
+    for finding in report.findings:
+        if finding.baselined:
+            continue
+        result: Dict = {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": _sarif_level(finding.severity),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.context_hash:
+            result["partialFingerprints"] = {
+                "contextHash/v1": finding.context_hash,
+            }
+        results.append(result)
+    payload = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.simlint",
+                        "informationUri": (
+                            "https://github.com/example/repro"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)
+
+
+def _sarif_level(severity: str) -> str:
+    return "error" if severity == "error" else "warning"

@@ -7,8 +7,11 @@ decorator.
 
 from repro.simlint.rules import (  # noqa: F401  (registration side effect)
     bitidentity,
+    concurrency,
     determinism,
     diagnostics,
     hygiene,
     mutation_surface,
+    taint_flow,
+    vector,
 )

@@ -15,14 +15,8 @@ import re
 from typing import Iterator, Optional
 
 from repro.simlint.model import Finding
+from repro.simlint.project import MUTATING_METHODS  # noqa: F401  (re-export)
 from repro.simlint.registry import Rule, register
-
-#: Method names that mutate their receiver in place.
-MUTATING_METHODS = {
-    "append", "appendleft", "extend", "extendleft", "add", "update",
-    "clear", "pop", "popleft", "popitem", "remove", "discard", "insert",
-    "setdefault", "sort", "reverse",
-}
 
 _ALL_CAPS = re.compile(r"^[A-Z][A-Z0-9_]{2,}$")
 

@@ -1,0 +1,374 @@
+"""SL5xx — async-concurrency rules for the sharded service.
+
+PR 6's coordinator multiplexes shard traffic on one asyncio event loop.
+The loop's concurrency model is cooperative: correctness rests on two
+properties no runtime test reliably exercises — the loop is never
+blocked (a blocked loop stalls *every* job, heartbeats included, which
+reads as shard failure), and shared coordinator state is only mutated
+while no other task can interleave.  These rules make the classic ways
+of breaking those properties static findings:
+
+SL501
+    A blocking call (``time.sleep``, sync file I/O, ``subprocess``,
+    future ``.result()``) directly inside an ``async def`` body.
+SL502
+    A coroutine call whose result is discarded — the coroutine object
+    is created and garbage-collected without ever running.
+SL503
+    ``await`` while holding a *synchronous* lock — the event loop
+    parks this task with the lock held and any other task (or the
+    heartbeat thread) that wants it deadlocks or stalls.
+SL504
+    A read-modify-write of shared ``self`` state interleaved by an
+    ``await``: the read is captured into a local, an await lets other
+    tasks run, then the stale local is written back, losing their
+    updates.
+
+All four are scope-limited to the configured async-critical packages
+(``repro.service``); the analysis is lexical and skips nested function
+definitions, which have their own execution context.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.simlint.model import Finding
+from repro.simlint.project import expr_key, own_statements
+from repro.simlint.registry import Rule, register
+
+#: Dotted callables that block the calling thread.
+BLOCKING_CALLS = {
+    "time.sleep",
+    "os.system",
+    "os.popen",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "shutil.copy",
+    "shutil.copytree",
+    "shutil.rmtree",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+    "open",
+}
+
+#: Attribute-call leaves that block: sync file I/O on Path objects and
+#: synchronous future/pool result waits.
+BLOCKING_METHODS = {
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+    "result",
+}
+
+#: Wrappers that legitimately consume a coroutine object (SL502).
+COROUTINE_CONSUMERS = {
+    "asyncio.ensure_future",
+    "asyncio.create_task",
+    "asyncio.gather",
+    "asyncio.wait",
+    "asyncio.wait_for",
+    "asyncio.shield",
+    "asyncio.run",
+    "asyncio.run_coroutine_threadsafe",
+}
+
+
+def _async_defs(tree: ast.Module) -> Iterator[ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            yield node
+
+
+def _contains_await(node: ast.AST) -> bool:
+    return any(
+        isinstance(child, ast.Await)
+        for child in own_statements_expr(node)
+    )
+
+
+def own_statements_expr(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` itself without descending into nested defs."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+@register
+class BlockingCallInAsyncRule(Rule):
+    id = "SL501"
+    title = "blocking call inside an async def"
+    severity = "error"
+    scope = "async"
+    category = "concurrency"
+    rationale = (
+        "The coordinator runs every job, heartbeat and degradation "
+        "decision on one event loop; a blocking call inside an async "
+        "def stalls all of them at once, and a stalled heartbeat is "
+        "indistinguishable from a dead shard — the failover machinery "
+        "then *causes* the failure it exists to mask.  Blocking work "
+        "belongs in loop.run_in_executor (how _run_serial runs jobs) or "
+        "in the shard processes.  The check is direct-call only: "
+        "transitively blocking helpers are a review concern, not a "
+        "lexical one."
+    )
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for fn in _async_defs(ctx.tree):
+            for node in own_statements(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = ctx.resolve(node.func)
+                if dotted in BLOCKING_CALLS:
+                    yield ctx.finding(
+                        self, node,
+                        f"blocking call {dotted}() inside async def "
+                        f"{fn.name} stalls the event loop — use "
+                        f"asyncio.sleep / run_in_executor",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in BLOCKING_METHODS
+                    and not isinstance(ctx.parent(node), ast.Await)
+                ):
+                    # An awaited `.result(...)` is an async method of
+                    # that name (the coordinator's own API), not a
+                    # synchronous Future wait.
+                    yield ctx.finding(
+                        self, node,
+                        f".{node.func.attr}() inside async def {fn.name} "
+                        f"blocks the event loop — move it to an executor",
+                    )
+
+
+@register
+class UnawaitedCoroutineRule(Rule):
+    id = "SL502"
+    title = "coroutine called but never awaited"
+    severity = "error"
+    scope = "async"
+    category = "concurrency"
+    rationale = (
+        "Calling an async def returns a coroutine object; discarding it "
+        "means the body never runs — the job is never routed, the shard "
+        "never degraded — and the only runtime signal is a garbage-"
+        "collection warning that CI logs swallow.  Every coroutine call "
+        "must be awaited or handed to a scheduling wrapper "
+        "(ensure_future, create_task, gather)."
+    )
+
+    def check(self, ctx) -> Iterator[Finding]:
+        async_names = self._async_callables(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Expr):
+                continue
+            call = node.value
+            if not isinstance(call, ast.Call):
+                continue
+            name = self._called_async(ctx, call, async_names)
+            if name is not None:
+                yield ctx.finding(
+                    self, call,
+                    f"coroutine {name}(...) is created but never awaited "
+                    f"— its body will never run; await it or wrap it in "
+                    f"asyncio.ensure_future/create_task",
+                )
+
+    @staticmethod
+    def _async_callables(ctx) -> Set[str]:
+        """Names of async defs in this file: bare and self-qualified."""
+        names: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                names.add(node.name)
+        return names
+
+    def _called_async(
+        self, ctx, call: ast.Call, async_names: Set[str]
+    ) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id in async_names:
+            return func.id
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and func.attr in async_names
+        ):
+            return f"self.{func.attr}"
+        # Cross-module: a project-resolvable callee that is async.
+        project = getattr(ctx, "project", None)
+        if project is not None:
+            dotted = ctx.resolve(func)
+            if dotted is not None and project.is_async(dotted):
+                return dotted
+        return None
+
+
+@register
+class AwaitUnderSyncLockRule(Rule):
+    id = "SL503"
+    title = "await while holding a synchronous lock"
+    severity = "error"
+    scope = "async"
+    category = "concurrency"
+    rationale = (
+        "A sync lock (threading.Lock, multiprocessing value locks) is "
+        "held across an await only by mistake: the event loop suspends "
+        "the task mid-critical-section with the lock taken, so the "
+        "heartbeat thread — or any task that touches the same lock — "
+        "blocks until the awaited I/O completes, if it ever does.  "
+        "Async critical sections use `async with` on an asyncio.Lock "
+        "(how _run_serial serializes); sync locks must be released "
+        "before awaiting."
+    )
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.With):
+                continue
+            lock = self._lockish(node)
+            if lock is None:
+                continue
+            for child in own_statements_expr(node):
+                if isinstance(child, ast.Await):
+                    yield ctx.finding(
+                        self, child,
+                        f"await while holding sync lock {lock} — the "
+                        f"event loop parks this task with the lock held; "
+                        f"use an asyncio.Lock with `async with`, or "
+                        f"release before awaiting",
+                    )
+
+    @staticmethod
+    def _lockish(node: ast.With) -> Optional[str]:
+        """A lock-shaped context expr of ``node``, rendered for humans."""
+        for item in node.items:
+            expr = item.context_expr
+            key = expr_key(expr.func) if isinstance(expr, ast.Call) else expr_key(expr)
+            if key is not None and "lock" in key.rsplit(".", 1)[-1].lower():
+                return key
+        return None
+
+
+@register
+class StaleReadAcrossAwaitRule(Rule):
+    id = "SL504"
+    title = "read-modify-write of shared state interleaved by an await"
+    severity = "error"
+    scope = "async"
+    category = "concurrency"
+    rationale = (
+        "asyncio is cooperative: between an await's suspension and "
+        "resumption, every other task runs.  Capturing shared self "
+        "state into a local, awaiting, then writing the stale local "
+        "back is the textbook lost update — a concurrent _complete or "
+        "_shard_failed lands in the gap and is silently overwritten, "
+        "and the admission/failover books stop balancing.  Re-read "
+        "after the await, or hold the serialization lock "
+        "(`async with`) around the whole read-modify-write."
+    )
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for fn in _async_defs(ctx.tree):
+            yield from self._check_function(ctx, fn)
+
+    def _check_function(self, ctx, fn: ast.AsyncFunctionDef):
+        #: local name → [source chain, awaited-since-bind]
+        binds: Dict[str, List] = {}
+        yield from self._walk(ctx, fn.body, binds, locked=False)
+
+    def _walk(self, ctx, stmts, binds: Dict[str, List], locked: bool):
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_store(ctx, stmt, binds, locked)
+            self._track_bind(stmt, binds)
+            if _contains_await(stmt):
+                for entry in binds.values():
+                    entry[1] = True
+            # Recurse into compound bodies with the shared environment
+            # (path-insensitive: branches merge by union).
+            if isinstance(stmt, ast.AsyncWith):
+                yield from self._walk(ctx, stmt.body, binds, locked=True)
+            elif isinstance(stmt, (ast.If, ast.While, ast.For, ast.AsyncFor,
+                                   ast.With)):
+                for body in self._bodies(stmt):
+                    yield from self._walk(ctx, body, binds, locked)
+            elif isinstance(stmt, ast.Try):
+                for body in (
+                    [stmt.body, stmt.orelse, stmt.finalbody]
+                    + [h.body for h in stmt.handlers]
+                ):
+                    yield from self._walk(ctx, body, binds, locked)
+
+    @staticmethod
+    def _bodies(stmt) -> List[List[ast.stmt]]:
+        bodies = [stmt.body]
+        if getattr(stmt, "orelse", None):
+            bodies.append(stmt.orelse)
+        return bodies
+
+    @staticmethod
+    def _track_bind(stmt: ast.stmt, binds: Dict[str, List]) -> None:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            return
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            return
+        chain = expr_key(stmt.value)
+        if chain is not None and chain.startswith("self."):
+            binds[target.id] = [chain, False]
+        else:
+            binds.pop(target.id, None)
+
+    def _check_store(self, ctx, stmt: ast.stmt, binds, locked: bool):
+        if locked or not isinstance(stmt, (ast.Assign, ast.AugAssign)):
+            return
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        rhs_await = any(
+            isinstance(n, ast.Await)
+            for n in own_statements_expr(stmt.value)
+        )
+        for target in targets:
+            chain = expr_key(target)
+            if chain is None or not chain.startswith("self."):
+                continue
+            if isinstance(stmt, ast.AugAssign) and rhs_await:
+                # `self.x += await f()`: the old value is read before
+                # the await suspends, so the write-back is stale.
+                yield ctx.finding(
+                    self, stmt,
+                    f"augmented write to {chain} with an await on the "
+                    f"right-hand side — the old value is read before "
+                    f"suspension, so concurrent updates are lost",
+                )
+                continue
+            for name_node in own_statements_expr(stmt.value):
+                if not isinstance(name_node, ast.Name):
+                    continue
+                entry = binds.get(name_node.id)
+                if entry is None or entry[0] != chain:
+                    continue
+                if entry[1] or rhs_await:
+                    yield ctx.finding(
+                        self, stmt,
+                        f"{chain} was captured into `{name_node.id}` "
+                        f"before an await and written back after it — "
+                        f"tasks that ran during the await are "
+                        f"overwritten; re-read after awaiting or hold "
+                        f"the lock with `async with`",
+                    )

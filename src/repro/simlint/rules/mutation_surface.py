@@ -43,11 +43,11 @@ from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.simlint.model import Finding
+from repro.simlint.project import WriteSurfaceGraph
 from repro.simlint.registry import Rule, register
-from repro.simlint.rules.bitidentity import MUTATING_METHODS
 
 
 @register
@@ -57,6 +57,10 @@ class FastForwardParityRule(Rule):
     severity = "error"
     scope = "timing"
     category = "bit-identity"
+    # The oracle coverage check credits writes of *imported* project
+    # helpers through ctx.project, so cached findings must invalidate
+    # when anything in the import closure changes.
+    cross_file = True
     rationale = (
         "The fast-forward drain skips scheduler arbitration on the "
         "promise that it is observationally identical to the stepped "
@@ -88,7 +92,11 @@ class FastForwardParityRule(Rule):
             split = _split_fast_forward(run)
             if split is not None:
                 ff_stmts, stepped_stmts, anchor = split
-                graph = _CallGraph(ctx.tree, node, run)
+                # The parity diff is deliberately file-local even when a
+                # project graph is attached: an imported helper's write
+                # keys are spelled in the callee's own namespace and
+                # would poison the key-set comparison.
+                graph = WriteSurfaceGraph(ctx.tree, node, run)
                 ff_writes = graph.reachable_writes(ff_stmts)
                 stepped_writes = graph.reachable_writes(stepped_stmts)
                 outside_reads = _name_reads(run, skip=anchor)
@@ -137,8 +145,15 @@ class FastForwardParityRule(Rule):
         declared = _class_literal(node, "COUNTER_PARITY_EXEMPT")
         if declared is not None and isinstance(declared[1], (tuple, list)):
             exempt = {item for item in declared[1] if isinstance(item, str)}
-        graph = _CallGraph(ctx.tree, node, run)
-        writes = graph.reachable_writes(run.body)
+        # Coverage (unlike the parity diff) may credit writes delegated
+        # to imported project helpers: the question is "does *anything*
+        # reachable from run() maintain this counter", so the callee-
+        # local key spelling is exactly what _writes_counter matches.
+        graph = WriteSurfaceGraph(
+            ctx.tree, node, run,
+            project=ctx.project, module=ctx.module, imports=ctx.imports,
+        )
+        writes = graph.reachable_writes(run.body, cross_module=True)
         for field in fields:
             if field in exempt or _writes_counter(writes, field):
                 continue
@@ -265,115 +280,3 @@ def _mentions_fast_forward(test: ast.AST) -> bool:
             return True
     return False
 
-
-class _CallGraph:
-    """Write-surface collector over a class + module call graph."""
-
-    def __init__(
-        self, tree: ast.Module, cls: ast.ClassDef, run: ast.FunctionDef
-    ) -> None:
-        self._methods: Dict[str, ast.FunctionDef] = {
-            stmt.name: stmt
-            for stmt in cls.body
-            if isinstance(stmt, ast.FunctionDef)
-        }
-        self._module_funcs: Dict[str, ast.FunctionDef] = {
-            stmt.name: stmt
-            for stmt in tree.body
-            if isinstance(stmt, ast.FunctionDef)
-        }
-        # Helper closures defined inside run() (e.g. admit()).
-        self._local_funcs: Dict[str, ast.FunctionDef] = {
-            node.name: node
-            for node in ast.walk(run)
-            if isinstance(node, ast.FunctionDef) and node is not run
-        }
-        self._memo: Dict[str, Set[str]] = {}
-
-    def reachable_writes(self, stmts: List[ast.stmt]) -> Set[str]:
-        """State keys written by ``stmts`` and every callee they reach."""
-        writes: Set[str] = set()
-        visited: Set[str] = set()
-        self._collect(stmts, writes, visited)
-        return writes
-
-    def _collect(
-        self, stmts: List[ast.stmt], writes: Set[str], visited: Set[str]
-    ) -> None:
-        for stmt in stmts:
-            for node in ast.walk(stmt):
-                writes.update(_write_keys(node))
-                callee = self._callee(node)
-                if callee is not None and callee[0] not in visited:
-                    name, fn = callee
-                    visited.add(name)
-                    self._collect(fn.body, writes, visited)
-
-    def _callee(
-        self, node: ast.AST
-    ) -> Optional[Tuple[str, ast.FunctionDef]]:
-        if not isinstance(node, ast.Call):
-            return None
-        func = node.func
-        if (
-            isinstance(func, ast.Attribute)
-            and isinstance(func.value, ast.Name)
-            and func.value.id == "self"
-            and func.attr in self._methods
-        ):
-            return f"self.{func.attr}", self._methods[func.attr]
-        if isinstance(func, ast.Name):
-            if func.id in self._local_funcs:
-                return func.id, self._local_funcs[func.id]
-            if func.id in self._module_funcs:
-                return func.id, self._module_funcs[func.id]
-        return None
-
-
-def _write_keys(node: ast.AST) -> List[str]:
-    """Normalized state keys a node writes (empty for non-writes).
-
-    ``warp.ready_time = x`` → ``warp.ready_time``;
-    ``cursors[lane] = c`` → ``cursors``;
-    ``resident.clear()`` / ``resident.remove(x)`` → ``resident``;
-    plain local rebinding (``completion = end``) → the name itself, so
-    loop bookkeeping locals participate in the parity check too.
-    """
-    if isinstance(node, (ast.Assign, ast.AugAssign)):
-        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
-        keys: List[str] = []
-        for target in targets:
-            keys.extend(_target_keys(target))
-        return keys
-    if (
-        isinstance(node, ast.Call)
-        and isinstance(node.func, ast.Attribute)
-        and node.func.attr in MUTATING_METHODS
-    ):
-        key = _expr_key(node.func.value)
-        return [key] if key is not None else []
-    return []
-
-
-def _target_keys(target: ast.AST) -> List[str]:
-    if isinstance(target, (ast.Tuple, ast.List)):
-        keys: List[str] = []
-        for element in target.elts:
-            keys.extend(_target_keys(element))
-        return keys
-    if isinstance(target, ast.Subscript):
-        key = _expr_key(target.value)
-    else:
-        key = _expr_key(target)
-    return [key] if key is not None else []
-
-
-def _expr_key(node: ast.AST) -> Optional[str]:
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        base = _expr_key(node.value)
-        return f"{base}.{node.attr}" if base is not None else None
-    if isinstance(node, ast.Subscript):
-        return _expr_key(node.value)
-    return None

@@ -1,0 +1,20 @@
+"""Tainted key derivation (bad): entropy reaches the declared sinks."""
+import time
+
+
+def _token():
+    return time.perf_counter()
+
+
+def cache_key(job):
+    stamp = _token()
+    return f"{job}-{stamp}"
+
+
+def content_key(items):
+    ordered = list({item for item in items})
+    return "|".join(str(item) for item in ordered)
+
+
+def salt(obj):
+    return str(id(obj))

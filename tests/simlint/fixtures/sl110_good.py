@@ -1,0 +1,19 @@
+"""Pure key derivation (good): sinks depend only on declared inputs."""
+
+
+def _token(seed):
+    return seed * 2654435761 % (2 ** 32)
+
+
+def cache_key(job, seed):
+    stamp = _token(seed)
+    return f"{job}-{stamp}"
+
+
+def content_key(items):
+    ordered = sorted({item for item in items})
+    return "|".join(str(item) for item in ordered)
+
+
+def salt(job, seed):
+    return f"{job}:{seed}"

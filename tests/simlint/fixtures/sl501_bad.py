@@ -1,0 +1,10 @@
+"""Blocking calls inside async defs (bad): each one stalls the loop."""
+import subprocess
+import time
+
+
+async def poll(handle):
+    time.sleep(0.1)
+    subprocess.run(["sync"], check=True)
+    data = open("state.json").read()
+    return data

@@ -1,0 +1,13 @@
+"""Non-blocking async bodies (good): sleeps and I/O go through the loop."""
+import asyncio
+
+
+async def poll(handle, loop):
+    await asyncio.sleep(0.1)
+    data = await loop.run_in_executor(None, handle.read_state)
+    return data
+
+
+def snapshot(handle):
+    # Sync helpers may block: they run in the executor, not on the loop.
+    return open("state.json").read()

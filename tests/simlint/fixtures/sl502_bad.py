@@ -1,0 +1,14 @@
+"""Discarded coroutine calls (bad): the bodies never run."""
+
+
+async def flush(shard):
+    await shard.drain()
+
+
+class Router:
+    async def _notify(self, event):
+        await self.bus.put(event)
+
+    async def dispatch(self, shard, event):
+        flush(shard)
+        self._notify(event)

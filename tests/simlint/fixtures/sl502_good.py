@@ -1,0 +1,16 @@
+"""Consumed coroutine calls (good): awaited or scheduled as tasks."""
+import asyncio
+
+
+async def flush(shard):
+    await shard.drain()
+
+
+class Router:
+    async def _notify(self, event):
+        await self.bus.put(event)
+
+    async def dispatch(self, shard, event):
+        await flush(shard)
+        task = asyncio.create_task(self._notify(event))
+        await task

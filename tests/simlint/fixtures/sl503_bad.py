@@ -1,0 +1,17 @@
+"""Awaits under synchronous locks (bad): the loop parks with the lock held."""
+import threading
+
+_publish_lock = threading.Lock()
+
+
+class Books:
+    def __init__(self):
+        self._admit_lock = threading.Lock()
+
+    async def admit(self, job):
+        with self._admit_lock:
+            await self.route(job)
+
+    async def publish(self, payload):
+        with _publish_lock:
+            await self.bus.put(payload)

@@ -1,0 +1,19 @@
+"""Lock discipline (good): async critical sections use asyncio.Lock."""
+import asyncio
+import threading
+
+
+class Books:
+    def __init__(self):
+        self._serial = asyncio.Lock()
+        self._stats_lock = threading.Lock()
+        self.total = 0
+
+    async def admit(self, job):
+        async with self._serial:
+            await self.route(job)
+
+    def record(self, value):
+        # Sync lock in sync code: nothing can await while it is held.
+        with self._stats_lock:
+            self.total += value

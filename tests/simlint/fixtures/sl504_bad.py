@@ -1,0 +1,12 @@
+"""Stale read-modify-write across awaits (bad): lost updates."""
+
+
+class Admission:
+    async def reserve(self, cost):
+        inflight = self._inflight
+        budget = await self.quota()
+        self._inflight = inflight + cost
+        return budget
+
+    async def charge(self, ticket):
+        self._spent += await self.price(ticket)

@@ -1,0 +1,14 @@
+"""Atomic read-modify-write (good): locked, or re-read after the await."""
+
+
+class Admission:
+    async def reserve(self, cost):
+        async with self._lock:
+            inflight = self._inflight
+            budget = await self.quota()
+            self._inflight = inflight + cost
+        return budget
+
+    async def charge(self, ticket):
+        price = await self.price(ticket)
+        self._spent += price

@@ -1,0 +1,7 @@
+"""Float-promoting counter math (bad): parity is bitwise on ints."""
+
+
+class Fold:
+    def accumulate(self, counters, tests, lanes):
+        counters.box_tests += tests.sum() / lanes
+        counters.l1_hits = counters.l1_hits + 0.5

@@ -1,0 +1,8 @@
+"""Integral counter math (good): exact ops, int() only after exact math."""
+
+
+class Fold:
+    def accumulate(self, counters, tests, lanes):
+        counters.box_tests += int(tests.sum()) // max(lanes, 1)
+        counters.l1_hits = counters.l1_hits + 1
+        counters.steps = int(tests.sum())

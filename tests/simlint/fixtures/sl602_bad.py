@@ -1,0 +1,12 @@
+"""SoA mirror cache mutation (bad): outside the sanctioned writers."""
+from repro.gpu.vector.soa import trace_cache
+
+
+def patch(trace, soa):
+    cache = trace._vector_cache
+    cache["soa"] = soa
+
+
+def evict(trace):
+    entries = trace_cache(trace)
+    entries.pop("soa")

@@ -1,0 +1,13 @@
+"""SoA mirror cache access (good): sanctioned writers and pure reads."""
+from repro.gpu.vector.soa import trace_cache
+
+
+def warp_plan(trace, plan):
+    cache = trace_cache(trace)
+    cache["plan"] = plan
+    return plan
+
+
+def lookup(trace):
+    cache = trace_cache(trace)
+    return cache.get("soa")

@@ -1,0 +1,10 @@
+"""Unstable numpy ordering (bad): ties and hash order diverge per run."""
+import numpy as np
+
+
+def order(keys):
+    return np.argsort(keys)
+
+
+def total(values):
+    return np.sum(set(values))

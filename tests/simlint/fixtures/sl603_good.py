@@ -1,0 +1,10 @@
+"""Stable numpy ordering (good): explicit kinds and ordered operands."""
+import numpy as np
+
+
+def order(keys):
+    return np.argsort(keys, kind="stable")
+
+
+def total(values):
+    return np.sum(sorted(set(values)))

@@ -1,0 +1,13 @@
+"""Unchecked CSR slices (bad): clamped slices hide truncated offsets."""
+
+
+def rows(payload, offsets):
+    return [
+        payload[offsets[k]:offsets[k + 1]]
+        for k in range(len(offsets) - 1)
+    ]
+
+
+class Unpack:
+    def pushes_for(self, soa, k):
+        return soa.pushes[soa.push_off[k]:soa.push_off[k + 1]]

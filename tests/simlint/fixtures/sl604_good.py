@@ -1,0 +1,21 @@
+"""Validated CSR slices (good): invariants checked before indexing."""
+from repro.errors import SimulationError
+
+
+def rows(payload, offsets):
+    if not offsets or offsets[-1] != len(payload):
+        raise SimulationError("CSR offsets do not cover the payload")
+    return [
+        payload[offsets[k]:offsets[k + 1]]
+        for k in range(len(offsets) - 1)
+    ]
+
+
+class Unpack:
+    def pushes_for(self, soa, k):
+        self._validate_offsets(soa.push_off, soa.pushes)
+        return soa.pushes[soa.push_off[k]:soa.push_off[k + 1]]
+
+    def _validate_offsets(self, off, payload):
+        if not len(off) or off[-1] != len(payload):
+            raise SimulationError("CSR offsets do not cover the payload")

@@ -1,0 +1,77 @@
+"""Git-scoped selection for ``repro lint --changed``.
+
+A scratch git repository is built per test; the selection must return
+exactly the tracked-modified plus untracked Python files under the
+requested targets, apply the config excludes, drop deletions, and
+degrade to ``None`` (full-scan fallback) outside a checkout.
+"""
+
+import subprocess
+
+from repro.simlint.changed import changed_python_files
+from repro.simlint.config import LintConfig
+
+
+def git(repo, *args):
+    subprocess.run(
+        ("git", "-C", str(repo),
+         "-c", "user.email=ci@example.invalid", "-c", "user.name=ci")
+        + args,
+        check=True, capture_output=True,
+    )
+
+
+def make_repo(root):
+    pkg = root / "src" / "repro"
+    (pkg / "fixtures").mkdir(parents=True)
+    (pkg / "a.py").write_text("A = 1\n")
+    (pkg / "b.py").write_text("B = 2\n")
+    (pkg / "fixtures" / "f.py").write_text("F = 3\n")
+    (root / "notes.txt").write_text("not python\n")
+    git(root, "init", "--quiet")
+    git(root, "add", "-A")
+    git(root, "commit", "--quiet", "-m", "seed")
+    return root
+
+
+def test_changed_selects_modified_and_untracked_python(tmp_path, monkeypatch):
+    repo = make_repo(tmp_path)
+    (repo / "src" / "repro" / "a.py").write_text("A = 10\n")
+    (repo / "src" / "repro" / "c.py").write_text("C = 3\n")  # untracked
+    (repo / "notes.txt").write_text("still not python\n")
+    monkeypatch.chdir(repo)
+    selected = changed_python_files(["src"], LintConfig())
+    assert selected == ["src/repro/a.py", "src/repro/c.py"]
+
+
+def test_changed_applies_config_excludes(tmp_path, monkeypatch):
+    repo = make_repo(tmp_path)
+    (repo / "src" / "repro" / "fixtures" / "f.py").write_text("F = 30\n")
+    (repo / "src" / "repro" / "a.py").write_text("A = 10\n")
+    monkeypatch.chdir(repo)
+    selected = changed_python_files(
+        ["src"], LintConfig(exclude=("fixtures",))
+    )
+    assert selected == ["src/repro/a.py"]
+
+
+def test_changed_drops_deleted_files(tmp_path, monkeypatch):
+    repo = make_repo(tmp_path)
+    (repo / "src" / "repro" / "b.py").unlink()
+    monkeypatch.chdir(repo)
+    assert changed_python_files(["src"], LintConfig()) == []
+
+
+def test_changed_scopes_to_the_requested_targets(tmp_path, monkeypatch):
+    repo = make_repo(tmp_path)
+    (repo / "toplevel.py").write_text("T = 1\n")  # untracked, outside src/
+    (repo / "src" / "repro" / "a.py").write_text("A = 10\n")
+    monkeypatch.chdir(repo)
+    assert changed_python_files(["src"], LintConfig()) == ["src/repro/a.py"]
+
+
+def test_changed_is_none_outside_a_git_checkout(tmp_path, monkeypatch):
+    plain = tmp_path / "plain"
+    (plain / "src").mkdir(parents=True)
+    monkeypatch.chdir(plain)
+    assert changed_python_files(["src"], LintConfig()) is None

@@ -94,6 +94,67 @@ def test_missing_target_exits_2(capsys):
     assert "does not exist" in capsys.readouterr().err
 
 
+def test_list_rules_includes_the_v2_families(capsys):
+    assert lint("--list-rules") == 0
+    out = capsys.readouterr().out
+    for rule_id in ("SL110", "SL501", "SL502", "SL503", "SL504",
+                    "SL601", "SL602", "SL603", "SL604"):
+        assert rule_id in out
+
+
+def test_sarif_format(tmp_path, capsys):
+    code = lint(str(make_dirty_tree(tmp_path)), "--no-baseline",
+                "--format", "sarif")
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro.simlint"
+    assert [r["ruleId"] for r in run["results"]] == ["SL402"]
+
+
+def test_cache_flag_makes_the_second_run_parse_nothing(tmp_path, capsys):
+    tree = make_dirty_tree(tmp_path)
+    cache = tmp_path / "lint-cache.json"
+    assert lint(str(tree), "--no-baseline", "--cache", str(cache)) == 1
+    capsys.readouterr()
+    assert lint(str(tree), "--no-baseline", "--cache", str(cache)) == 1
+    out = capsys.readouterr().out
+    assert "0 parsed" in out and "cache hits" in out
+
+
+def test_changed_falls_back_to_full_scan_outside_git(
+    tmp_path, capsys, monkeypatch
+):
+    make_dirty_tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    assert lint("repro", "--no-baseline", "--changed") == 1
+    captured = capsys.readouterr()
+    assert "not a git checkout" in captured.err
+    assert "1 error(s)" in captured.out
+
+
+def test_changed_scopes_the_run_to_dirty_files(
+    tmp_path, capsys, monkeypatch
+):
+    import subprocess
+
+    tree = make_dirty_tree(tmp_path)
+    (tmp_path / "repro" / "clean.py").write_text("x = 1\n")
+    subprocess.run(("git", "init", "--quiet"), cwd=tmp_path, check=True)
+    subprocess.run(("git", "add", "-A"), cwd=tmp_path, check=True)
+    subprocess.run(
+        ("git", "-c", "user.email=ci@example.invalid", "-c", "user.name=ci",
+         "commit", "--quiet", "-m", "seed"),
+        cwd=tmp_path, check=True,
+    )
+    (tmp_path / "repro" / "mod.py").write_text('print("still dirty")\n')
+    monkeypatch.chdir(tmp_path)
+    assert lint("repro", "--no-baseline", "--changed") == 1
+    out = capsys.readouterr().out
+    assert "1 file(s)" in out and "1 error(s)" in out
+
+
 def test_config_flag_applies_repo_config(tmp_path, capsys):
     """--config pointing at the repo pyproject excludes rule fixtures."""
     tree = tmp_path / "repro" / "tests" / "simlint" / "fixtures"

@@ -41,6 +41,15 @@ def test_repro_lint_tests_is_clean():
     assert report.exit_code == 0
 
 
+def test_repro_lint_tools_is_clean():
+    report = repo_report("tools")
+    assert report.files >= 3
+    assert report.errors == [], [
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in report.errors
+    ]
+    assert report.exit_code == 0
+
+
 def test_store_holds_the_only_wallclock_suppressions_in_src():
     """The two sanctioned time.time() reads (result/failure metadata in
     repro.runtime.store) must stay the only SL101 suppressions in src/."""
@@ -63,7 +72,26 @@ def test_committed_baseline_is_empty():
     """New code never rides in on the baseline — it exists for future
     grandfathering only, and today holds nothing."""
     payload = json.loads((REPO_ROOT / "simlint-baseline.json").read_text())
-    assert payload == {"entries": [], "schema": 1}
+    assert payload == {"entries": [], "schema": 2}
+
+
+def test_tool_suppressions_are_pinned():
+    """tools/ carries exactly the documented suppressions: calibrate's
+    operator-facing stdout/elapsed-time pair (file-level) and the api-doc
+    generator's status line.  A new suppression must update this pin."""
+    suppressions = []
+    for path in sorted((REPO_ROOT / "tools").rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if "simlint: disable" in line:
+                suppressions.append(
+                    (path.relative_to(REPO_ROOT).as_posix(),
+                     line.split("=", 1)[1].strip())
+                )
+    assert suppressions == [
+        ("tools/calibrate.py", "SL402"),
+        ("tools/calibrate.py", "SL101"),
+        ("tools/gen_api_docs.py", "SL402"),
+    ], suppressions
 
 
 def test_seeded_violation_turns_the_gate_red(tmp_path, capsys):

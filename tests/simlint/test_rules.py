@@ -27,6 +27,10 @@ CASES = {
     "SL102": ("repro.gpu.fixture", 3),
     "SL103": ("repro.gpu.fixture", 3),
     "SL104": ("repro.gpu.fixture", 3),
+    # SL110 mounts outside the timing packages so its entropy sources
+    # (time/id/set-order) exercise the *flow* engine without co-firing
+    # the SL1xx call-site rules.
+    "SL110": ("repro.runtime.fixture", 3),
     "SL201": ("repro.gpu.fixture", 3),
     "SL202": ("repro.gpu.fixture", 2),
     "SL203": ("repro.runtime.fixture", 2),
@@ -35,6 +39,14 @@ CASES = {
     "SL302": ("repro.gpu.fixture", 2),
     "SL401": ("repro.gpu.fixture", 2),
     "SL402": ("repro.gpu.fixture", 1),
+    "SL501": ("repro.service.fixture", 3),
+    "SL502": ("repro.service.fixture", 2),
+    "SL503": ("repro.service.fixture", 2),
+    "SL504": ("repro.service.fixture", 2),
+    "SL601": ("repro.gpu.vector.fixture", 2),
+    "SL602": ("repro.gpu.vector.fixture", 2),
+    "SL603": ("repro.gpu.vector.fixture", 2),
+    "SL604": ("repro.gpu.vector.fixture", 2),
 }
 
 
@@ -79,9 +91,10 @@ def test_rule_catalog_is_documented():
         assert rule.title and rule.rationale
         assert rule.category in {
             "determinism", "bit-identity", "diagnostics", "hygiene",
+            "concurrency", "vector",
         }
         assert rule.severity in {"error", "warning"}
-        assert rule.scope in {"timing", "repro", "all"}
+        assert rule.scope in {"timing", "async", "vector", "repro", "all"}
 
 
 def test_scope_filtering():
